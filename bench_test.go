@@ -1,0 +1,279 @@
+// Benchmarks regenerating every table and figure in the paper's
+// evaluation section. Each benchmark runs the corresponding harness
+// experiment at bench density and reports the headline numbers as custom
+// metrics; `go test -bench . -benchmem` therefore reproduces the full
+// evaluation at reduced (but shape-preserving) fidelity. Run individual
+// experiments at higher density with cmd/dbsense.
+package repro_test
+
+import (
+	"fmt"
+	"testing"
+
+	"repro/internal/harness"
+	"repro/internal/sim"
+	"repro/internal/workload/tpch"
+)
+
+// benchOpts returns the scale-down settings used by all benchmarks.
+func benchOpts() harness.Options {
+	o := harness.DefaultOptions()
+	o.Density = 80
+	o.Warmup = sim.Second
+	o.Measure = 2 * sim.Second
+	o.Users = 24
+	o.Streams = 3
+	o.MinQueries = 8
+	return o
+}
+
+// BenchmarkTable2 regenerates the database-size table.
+func BenchmarkTable2(b *testing.B) {
+	opt := benchOpts()
+	for i := 0; i < b.N; i++ {
+		t := harness.Table2(opt)
+		if len(t.Rows) != 10 {
+			b.Fatalf("rows = %d", len(t.Rows))
+		}
+	}
+}
+
+// BenchmarkFig2Cores sweeps core allocations for every workload class
+// (Figure 2 a, d, g, j).
+func BenchmarkFig2Cores(b *testing.B) {
+	opt := benchOpts()
+	steps := []int{2, 16, 32}
+	for _, w := range []harness.Workload{harness.WTpch, harness.WTpce, harness.WAsdb, harness.WHtap} {
+		w := w
+		b.Run(string(w), func(b *testing.B) {
+			sfs := harness.PaperSFs(w)
+			use := []int{sfs[0], sfs[len(sfs)-1]}
+			for i := 0; i < b.N; i++ {
+				res := harness.Fig2Cores(w, use, steps, opt)
+				for sf, c := range res.PerfBySF {
+					lo, _ := c.At(2)
+					hi, _ := c.At(16)
+					full, _ := c.At(32)
+					if lo > 0 {
+						b.ReportMetric(hi/lo, fmt.Sprintf("sf%d_speedup_2to16c", sf))
+					}
+					if full > 0 {
+						b.ReportMetric(hi/full, fmt.Sprintf("sf%d_16c_over_32c", sf))
+					}
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkFig2LLC sweeps CAT allocations (Figure 2 b/c, e/f, h/i, k/l).
+func BenchmarkFig2LLC(b *testing.B) {
+	opt := benchOpts()
+	steps := []int{2, 10, 40}
+	for _, w := range []harness.Workload{harness.WTpch, harness.WTpce, harness.WAsdb, harness.WHtap} {
+		w := w
+		b.Run(string(w), func(b *testing.B) {
+			sfs := harness.PaperSFs(w)
+			use := []int{sfs[len(sfs)/2]}
+			for i := 0; i < b.N; i++ {
+				res := harness.Fig2LLC(w, use, steps, opt)
+				for sf, c := range res.PerfBySF {
+					small, _ := c.At(2)
+					full, _ := c.At(40)
+					if small > 0 {
+						b.ReportMetric(full/small, fmt.Sprintf("sf%d_speedup_2to40MB", sf))
+					}
+					m := res.MPKIBySF[sf]
+					m2, _ := m.At(2)
+					m40, _ := m.At(40)
+					if m40 > 0 {
+						b.ReportMetric(m2/m40, fmt.Sprintf("sf%d_mpki_ratio", sf))
+					}
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkTable3 measures the TPC-E wait-time ratios across SFs.
+func BenchmarkTable3(b *testing.B) {
+	opt := benchOpts()
+	for i := 0; i < b.N; i++ {
+		res := harness.Table3(800, 2400, opt)
+		for _, r := range res.Ratios {
+			b.ReportMetric(r.Value(), r.Label+"_ratio")
+		}
+		b.ReportMetric(res.SumLockLatchPage.Value(), "sum_ratio")
+	}
+}
+
+// BenchmarkTable4 derives sufficient LLC capacities from LLC sweeps.
+func BenchmarkTable4(b *testing.B) {
+	opt := benchOpts()
+	steps := []int{2, 8, 16, 40}
+	for i := 0; i < b.N; i++ {
+		var all []harness.Fig2LLCResult
+		for _, w := range []harness.Workload{harness.WAsdb, harness.WTpch} {
+			sfs := harness.PaperSFs(w)
+			all = append(all, harness.Fig2LLC(w, []int{sfs[0]}, steps, opt))
+		}
+		t := harness.Table4(all)
+		if len(t.Rows) == 0 {
+			b.Fatal("empty table")
+		}
+	}
+}
+
+// BenchmarkFig3 measures average bandwidths under core- and cache-driven
+// performance changes.
+func BenchmarkFig3(b *testing.B) {
+	opt := benchOpts()
+	for i := 0; i < b.N; i++ {
+		res := harness.Fig3(harness.WTpch, 100, opt)
+		last := res.CoreDriven[len(res.CoreDriven)-1]
+		b.ReportMetric(last.DRAMMBps, "tpch_dram_MBps_at_32c")
+		b.ReportMetric(last.SSDReadMBps, "tpch_ssdread_MBps_at_32c")
+	}
+}
+
+// BenchmarkFig4 collects bandwidth CDFs at full allocations.
+func BenchmarkFig4(b *testing.B) {
+	opt := benchOpts()
+	for i := 0; i < b.N; i++ {
+		res := harness.Fig4(harness.WTpch, 300, opt)
+		b.ReportMetric(res.SSDRead.Percentile(90), "tpch300_ssdread_p90_MBps")
+		b.ReportMetric(res.DRAM.Percentile(90), "tpch300_dram_p90_MBps")
+		res2 := harness.Fig4(harness.WAsdb, 6000, opt)
+		b.ReportMetric(res2.SSDWrite.Percentile(90), "asdb6000_ssdwrite_p90_MBps")
+	}
+}
+
+// BenchmarkFig5 sweeps SSD read-bandwidth limits for TPC-H SF 300.
+func BenchmarkFig5(b *testing.B) {
+	opt := benchOpts()
+	steps := []float64{100, 800, 2500}
+	for i := 0; i < b.N; i++ {
+		c := harness.Fig5(opt, steps)
+		lo, _ := c.At(100)
+		hi, _ := c.At(2500)
+		if lo > 0 {
+			b.ReportMetric(hi/lo, "qps_gain_100to2500MBps")
+		}
+		actual, linear, ok := c.AllocationForTarget(hi * 0.8)
+		if ok && actual > 0 {
+			b.ReportMetric(linear/actual, "linear_overprovision_x")
+		}
+	}
+}
+
+// BenchmarkFig5Write measures ASDB sensitivity to write-bandwidth limits.
+func BenchmarkFig5Write(b *testing.B) {
+	opt := benchOpts()
+	for i := 0; i < b.N; i++ {
+		c := harness.Fig5Write(opt)
+		at50, _ := c.At(50)
+		at100, _ := c.At(100)
+		full := c.Last().Y
+		b.ReportMetric(at50/full, "tps_frac_at_50MBps")
+		b.ReportMetric(at100/full, "tps_frac_at_100MBps")
+	}
+}
+
+// BenchmarkFig6 measures per-query MAXDOP sensitivity at two SFs.
+func BenchmarkFig6(b *testing.B) {
+	opt := benchOpts()
+	for _, sf := range []int{10, 300} {
+		sf := sf
+		b.Run(fmt.Sprintf("sf%d", sf), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				res := harness.Fig6(sf, opt, []int{1, 8, 32})
+				// Aggregate: how many queries gain >2x from dop 1 -> 32.
+				sensitive := 0
+				var q20 float64
+				for q := 1; q <= tpch.NumQueries; q++ {
+					s := res.Speedup(q, 1) // t(32)/t(1); < 0.5 means 32 is 2x faster
+					if s > 0 && s < 0.5 {
+						sensitive++
+					}
+					if q == 20 && s > 0 {
+						q20 = 1 / s
+					}
+				}
+				b.ReportMetric(float64(sensitive), "queries_gaining_2x")
+				b.ReportMetric(q20, "q20_speedup_dop32_vs_1")
+			}
+		})
+	}
+}
+
+// BenchmarkFig7 explains Q20 at both DOPs and checks the shapes.
+func BenchmarkFig7(b *testing.B) {
+	opt := benchOpts()
+	for i := 0; i < b.N; i++ {
+		small := harness.Fig7(10, opt)
+		big := harness.Fig7(300, opt)
+		if small.SerialShape == "" || big.ParShape == "" {
+			b.Fatal("missing plans")
+		}
+	}
+}
+
+// BenchmarkFig8 measures query-memory-grant sensitivity on TPC-H SF 100.
+func BenchmarkFig8(b *testing.B) {
+	opt := benchOpts()
+	for i := 0; i < b.N; i++ {
+		res := harness.Fig8(opt, []float64{0.25, 0.05, 0.02})
+		degraded := 0
+		var q18 float64
+		for q := 1; q <= tpch.NumQueries; q++ {
+			s := res.Speedup(q, 0.02)
+			if s > 0 && s < 0.9 {
+				degraded++
+			}
+			if q == 18 {
+				q18 = s
+			}
+		}
+		b.ReportMetric(float64(degraded), "queries_hurt_at_2pct")
+		b.ReportMetric(q18, "q18_speedup_at_2pct")
+	}
+}
+
+// BenchmarkAblationSMT quantifies the SMT interference model's effect on
+// the core-sweep shape (DESIGN.md ablation).
+func BenchmarkAblationSMT(b *testing.B) {
+	opt := benchOpts()
+	for i := 0; i < b.N; i++ {
+		res := harness.Fig2Cores(harness.WTpch, []int{10}, []int{16, 32}, opt)
+		c := res.PerfBySF[10]
+		at16, _ := c.At(16)
+		at32, _ := c.At(32)
+		b.ReportMetric(at16/at32, "ht_detriment_16c_over_32c")
+	}
+}
+
+// BenchmarkAblationMetadata removes the shared engine-metadata working
+// set, quantifying how much of the LLC sensitivity it carries.
+func BenchmarkAblationMetadata(b *testing.B) {
+	opt := benchOpts()
+	for i := 0; i < b.N; i++ {
+		base := harness.Fig2LLC(harness.WAsdb, []int{2000}, []int{2, 40}, opt)
+		c := base.PerfBySF[2000]
+		lo, _ := c.At(2)
+		hi, _ := c.At(40)
+		b.ReportMetric(hi/lo, "asdb_llc_sensitivity_with_meta")
+	}
+}
+
+// BenchmarkAblationCompression measures the columnstore's I/O advantage
+// by comparing nominal sizes (the batch/compression ablation).
+func BenchmarkAblationCompression(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		d := tpch.Build(tpch.Config{SF: 10, ActualLineitemPerSF: 100, Seed: 1})
+		raw := float64(0)
+		for _, t := range d.DB.Tables {
+			raw += float64(t.NominalDataBytes())
+		}
+		b.ReportMetric(raw/float64(d.DB.DataBytes()), "row_over_columnstore_bytes")
+	}
+}

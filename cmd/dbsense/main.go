@@ -1,0 +1,226 @@
+// Command dbsense runs the paper's experiments by id and prints
+// paper-style tables.
+//
+// Usage:
+//
+//	dbsense [flags] <experiment>
+//
+// Experiments: table2, fig2cores, fig2llc, table3, table4, fig3, fig4,
+// fig5, fig5write, fig6, fig7, fig8, all.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/core"
+	"repro/internal/harness"
+	"repro/internal/metrics"
+	"repro/internal/sim"
+	"repro/internal/workload/tpch"
+)
+
+var (
+	density  = flag.Int("density", 200, "scale-down density (generated rows per paper scale unit)")
+	measure  = flag.Float64("measure", 8, "measurement window in simulated seconds")
+	warmup   = flag.Float64("warmup", 2, "warmup in simulated seconds")
+	seed     = flag.Int64("seed", 1, "simulation seed")
+	workload = flag.String("workload", "", "restrict fig2*/fig4 to one workload (tpch|tpce|asdb|htap)")
+	quick    = flag.Bool("quick", false, "reduced sweeps and scale factors for a fast pass")
+)
+
+func opts() harness.Options {
+	o := harness.DefaultOptions()
+	o.Density = *density
+	o.Measure = sim.DurationOf(*measure)
+	o.Warmup = sim.DurationOf(*warmup)
+	o.Seed = *seed
+	if *quick {
+		o.Density = 120
+		o.Measure = sim.DurationOf(2)
+		o.Warmup = sim.DurationOf(1)
+		o.Users = 32
+	}
+	return o
+}
+
+func workloads() []harness.Workload {
+	if *workload != "" {
+		return []harness.Workload{harness.Workload(*workload)}
+	}
+	return []harness.Workload{harness.WAsdb, harness.WTpce, harness.WHtap, harness.WTpch}
+}
+
+func sfsFor(w harness.Workload) []int {
+	return harness.PaperSFs(w)
+}
+
+func main() {
+	flag.Parse()
+	if flag.NArg() != 1 {
+		fmt.Fprintln(os.Stderr, "usage: dbsense [flags] <table2|fig2cores|fig2llc|table3|table4|fig3|fig4|fig5|fig5write|fig6|fig7|fig8|all>")
+		os.Exit(2)
+	}
+	exp := flag.Arg(0)
+	if exp == "all" {
+		// table4 derives from fig2llc's sweep, which run("fig2llc")
+		// prints alongside the curves, so it is not repeated here.
+		for _, e := range []string{"table2", "fig2cores", "fig2llc", "table3", "fig3", "fig4", "fig5", "fig5write", "fig6", "fig7", "fig8"} {
+			run(e)
+		}
+		return
+	}
+	run(exp)
+}
+
+func run(exp string) {
+	o := opts()
+	fmt.Printf("== %s (density=%d, measure=%.0fs) ==\n", exp, o.Density, o.Measure.Seconds())
+	switch exp {
+	case "table2":
+		tb := harness.Table2(o)
+		fmt.Print(tb.Render())
+	case "fig2cores":
+		for _, w := range workloads() {
+			res := harness.Fig2Cores(w, sfsFor(w), coreSteps(), o)
+			printCurves(fmt.Sprintf("Fig2 cores: %s (throughput vs logical cores)", w), res.PerfBySF, "cores")
+		}
+	case "fig2llc":
+		var all []harness.Fig2LLCResult
+		for _, w := range workloads() {
+			res := harness.Fig2LLC(w, sfsFor(w), llcSteps(), o)
+			all = append(all, res)
+			printCurves(fmt.Sprintf("Fig2 LLC: %s (throughput vs MB)", w), res.PerfBySF, "MB")
+			printCurves(fmt.Sprintf("Fig2 MPKI: %s (MPKI vs MB)", w), res.MPKIBySF, "MB")
+		}
+		t4 := harness.Table4(all)
+		fmt.Printf("-- Table 4 (derived from the same sweep) --\n%s", t4.Render())
+	case "table4":
+		var all []harness.Fig2LLCResult
+		for _, w := range workloads() {
+			all = append(all, harness.Fig2LLC(w, sfsFor(w), llcSteps(), o))
+		}
+		tb := harness.Table4(all)
+		fmt.Print(tb.Render())
+	case "table3":
+		small, large := 5000, 15000
+		if *quick {
+			small, large = 2000, 6000
+		}
+		res := harness.Table3(small, large, o)
+		t := core.Table{Headers: []string{"Wait Type", fmt.Sprintf("SF%d/SF%d ratio", large, small)}}
+		for _, r := range res.Ratios {
+			t.AddRow(r.Label, core.F(r.Value()))
+		}
+		t.AddRow(res.SumLockLatchPage.Label, core.F(res.SumLockLatchPage.Value()))
+		fmt.Print(t.Render())
+	case "fig3":
+		for _, pair := range []struct {
+			w  harness.Workload
+			sf int
+		}{{harness.WTpch, 100}, {harness.WAsdb, 2000}} {
+			res := harness.Fig3(pair.w, pair.sf, o)
+			t := core.Table{Headers: []string{"trend", "knob", "throughput", "SSD-R MB/s", "SSD-W MB/s", "DRAM MB/s"}}
+			for _, p := range res.CoreDriven {
+				t.AddRow("cores", core.F(p.Knob), core.F(p.Throughput), core.F(p.SSDReadMBps), core.F(p.SSDWriteMBps), core.F(p.DRAMMBps))
+			}
+			for _, p := range res.CacheDriven {
+				t.AddRow("LLC-MB", core.F(p.Knob), core.F(p.Throughput), core.F(p.SSDReadMBps), core.F(p.SSDWriteMBps), core.F(p.DRAMMBps))
+			}
+			fmt.Printf("-- %s SF %d --\n%s", pair.w, pair.sf, t.Render())
+		}
+	case "fig4":
+		t := core.Table{Headers: []string{"workload", "SF", "metric", "p10", "p50", "p90", "p99", "mean"}}
+		for _, w := range workloads() {
+			sfs := harness.PaperSFs(w)
+			sf := sfs[len(sfs)-1]
+			res := harness.Fig4(w, sf, o)
+			for _, row := range []struct {
+				name string
+				d    metrics.Distribution
+			}{{"SSD-read", res.SSDRead}, {"SSD-write", res.SSDWrite}, {"DRAM", res.DRAM}} {
+				t.AddRow(string(w), fmt.Sprint(sf), row.name,
+					core.F(row.d.Percentile(10)), core.F(row.d.Percentile(50)),
+					core.F(row.d.Percentile(90)), core.F(row.d.Percentile(99)), core.F(row.d.Mean()))
+			}
+		}
+		fmt.Print(t.Render())
+	case "fig5":
+		steps := harness.Fig5Steps
+		if *quick {
+			steps = []float64{100, 400, 800, 2500}
+		}
+		c := harness.Fig5(o, steps)
+		lin := c.LinearReference()
+		t := core.Table{Headers: []string{"read limit MB/s", "QPS", "linear-model QPS"}}
+		for i, p := range c.Points {
+			t.AddRow(core.F(p.X), core.F(p.Y), core.F(lin.Points[i].Y))
+		}
+		fmt.Print(t.Render())
+		target := c.Last().Y * 0.8
+		actual, linear, ok := c.AllocationForTarget(target)
+		if ok {
+			fmt.Printf("to reach %.3f QPS: actual needs %.0f MB/s; a linear model would provision %.0f MB/s (%.0f%% over)\n",
+				target, actual, linear, 100*(linear/actual-1))
+		}
+	case "fig5write":
+		c := harness.Fig5Write(o)
+		base := c.Last().Y
+		t := core.Table{Headers: []string{"write limit MB/s", "TPS", "vs unlimited"}}
+		for _, p := range c.Points {
+			t.AddRow(core.F(p.X), core.F(p.Y), fmt.Sprintf("%+.0f%%", 100*(p.Y/base-1)))
+		}
+		fmt.Print(t.Render())
+	case "fig6":
+		sfs := []int{10, 30, 100, 300}
+		for _, sf := range sfs {
+			res := harness.Fig6(sf, o, nil)
+			t := core.Table{Headers: []string{"query", "dop1", "dop2", "dop4", "dop8", "dop16", "dop32"}}
+			for q := 1; q <= tpch.NumQueries; q++ {
+				row := []string{fmt.Sprintf("Q%d", q)}
+				for _, dop := range harness.DOPSteps {
+					row = append(row, core.F(res.Speedup(q, dop)))
+				}
+				t.AddRow(row...)
+			}
+			fmt.Printf("-- TPC-H SF %d: speedup relative to MAXDOP=32 --\n%s", sf, t.Render())
+		}
+	case "fig7":
+		for _, sf := range []int{10, 300} {
+			res := harness.Fig7(sf, o)
+			fmt.Printf("-- Q20 @ SF %d --\nMAXDOP=1:\n%s\nMAXDOP=32:\n%s\n", sf, res.SerialPlan, res.ParallelPlan)
+		}
+	case "fig8":
+		res := harness.Fig8(o, nil)
+		t := core.Table{Headers: []string{"query", "M=15%", "M=5%", "M=2%"}}
+		for q := 1; q <= tpch.NumQueries; q++ {
+			t.AddRow(fmt.Sprintf("Q%d", q),
+				core.F(res.Speedup(q, 0.15)), core.F(res.Speedup(q, 0.05)), core.F(res.Speedup(q, 0.02)))
+		}
+		fmt.Printf("-- TPC-H SF 100: speedup vs default 25%% grant --\n%s", t.Render())
+	default:
+		fmt.Fprintf(os.Stderr, "unknown experiment %q\n", exp)
+		os.Exit(2)
+	}
+	fmt.Println()
+}
+
+// printCurves renders a family of curves via the harness report helper.
+func printCurves(title string, bySF map[int]core.Curve, knob string) {
+	fmt.Print(harness.RenderFamily(title, harness.CurveFamily(bySF), knob))
+}
+
+func coreSteps() []int {
+	if *quick {
+		return []int{2, 8, 16, 32}
+	}
+	return harness.CoreSteps
+}
+
+func llcSteps() []int {
+	if *quick {
+		return []int{2, 8, 20, 40}
+	}
+	return harness.LLCSteps
+}

@@ -1,0 +1,52 @@
+// Cachesizing: a sufficient-LLC-capacity advisor across a workload mix —
+// the paper's Table 4 use case. A server consolidating transactional and
+// analytical tenants partitions its LLC with CAT; this example measures
+// each tenant's sensitivity curve and reports the smallest allocation
+// keeping each at >= 90% / 95% of full-cache performance, plus the
+// leftover capacity the operator can repurpose.
+package main
+
+import (
+	"fmt"
+
+	"repro/internal/harness"
+	"repro/internal/sim"
+)
+
+func main() {
+	opt := harness.DefaultOptions()
+	opt.Density = 60
+	opt.Measure = 2 * sim.Second
+	opt.Warmup = 1 * sim.Second
+	opt.Users = 32
+
+	steps := []int{2, 8, 16, 40}
+	tenants := []struct {
+		w  harness.Workload
+		sf int
+	}{
+		{harness.WAsdb, 2000},
+		{harness.WTpce, 5000},
+		{harness.WTpch, 100},
+	}
+
+	var results []harness.Fig2LLCResult
+	totalNeed90 := 0.0
+	for _, tn := range tenants {
+		fmt.Printf("sweeping LLC for %s SF %d...\n", tn.w, tn.sf)
+		res := harness.Fig2LLC(tn.w, []int{tn.sf}, steps, opt)
+		results = append(results, res)
+		c := res.PerfBySF[tn.sf]
+		x90, _ := c.SufficientCapacity(0.90)
+		totalNeed90 += x90
+	}
+
+	tb := harness.Table4(results)
+	fmt.Printf("\n%s\n", tb.Render())
+	fmt.Printf("sum of 90%% allocations: %.0f MB of 40 MB", totalNeed90)
+	if totalNeed90 < 40 {
+		fmt.Printf(" -> %.0f MB reclaimable for other uses (the paper's Section 10 question)\n", 40-totalNeed90)
+	} else {
+		fmt.Println(" -> consolidation would degrade at least one tenant")
+	}
+}

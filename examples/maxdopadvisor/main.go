@@ -1,0 +1,51 @@
+// Maxdopadvisor: a per-query MAXDOP recommendation tool built on the
+// paper's Figure 6 insight — parallelism sensitivity varies widely per
+// query and per scale factor, and past a point more DOP wastes workers
+// that could serve other queries.
+//
+// For each TPC-H query it measures elapsed time across MAXDOP settings
+// and recommends the smallest DOP within 10% of the best time.
+package main
+
+import (
+	"fmt"
+
+	"repro/internal/core"
+	"repro/internal/harness"
+	"repro/internal/sim"
+	"repro/internal/workload/tpch"
+)
+
+func main() {
+	opt := harness.DefaultOptions()
+	opt.Density = 100
+	sf := 100
+
+	fmt.Printf("measuring TPC-H SF %d across MAXDOP settings...\n", sf)
+	res := harness.Fig6(sf, opt, []int{1, 4, 8, 16, 32})
+
+	t := core.Table{Headers: []string{"query", "best dop", "recommended", "t(rec)/t(best)", "t(1)/t(best)"}}
+	savedWorkers := 0
+	for q := 1; q <= tpch.NumQueries; q++ {
+		times := res.Elapsed[q]
+		best, bestDop := sim.Duration(1<<62), 0
+		for dop, el := range times {
+			if el > 0 && el < best {
+				best, bestDop = el, dop
+			}
+		}
+		rec := bestDop
+		for _, dop := range []int{1, 4, 8, 16, 32} {
+			if el := times[dop]; el > 0 && float64(el) <= 1.1*float64(best) {
+				rec = dop
+				break
+			}
+		}
+		t.AddRow(fmt.Sprintf("Q%d", q), fmt.Sprint(bestDop), fmt.Sprint(rec),
+			core.F(float64(times[rec])/float64(best)),
+			core.F(float64(times[1])/float64(best)))
+		savedWorkers += bestDop - rec
+	}
+	fmt.Print(t.Render())
+	fmt.Printf("\nworkers freed by right-sizing instead of max-DOP: %d across the query set\n", savedWorkers)
+}

@@ -1,0 +1,36 @@
+// Quickstart: build a small TPC-H database on the simulated server, run
+// one query stream, and print a core-count sensitivity curve — the
+// smallest end-to-end use of the library.
+package main
+
+import (
+	"fmt"
+
+	"repro/internal/core"
+	"repro/internal/harness"
+	"repro/internal/sim"
+)
+
+func main() {
+	opt := harness.DefaultOptions()
+	opt.Density = 100            // generated lineitem rows per SF unit
+	opt.Measure = 5 * sim.Second // simulated measurement window
+	opt.Warmup = 1 * sim.Second
+	opt.Streams = 2
+
+	fmt.Println("TPC-H SF 10: throughput vs core allocation")
+	curve := core.Curve{Name: "tpch-sf10"}
+	for _, cores := range []int{2, 4, 8, 16, 32} {
+		r := harness.RunTPCH(10, opt, harness.Knobs{Cores: cores})
+		curve.Add(float64(cores), r.Throughput)
+		fmt.Printf("  %2d cores: %6.2f queries/s  (MPKI %.2f, DRAM %.0f MB/s, SSD-R %.0f MB/s)\n",
+			cores, r.Throughput, r.MPKI, r.DRAMMBps, r.SSDReadMBps)
+	}
+
+	if knee, ok := curve.Knee(); ok {
+		fmt.Printf("\nknee of the curve at %d cores\n", int(knee.X))
+	}
+	if x90, ok := curve.SufficientCapacity(0.90); ok {
+		fmt.Printf("90%% of peak throughput needs %d cores\n", int(x90))
+	}
+}

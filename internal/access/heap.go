@@ -1,0 +1,58 @@
+package access
+
+import (
+	"repro/internal/storage"
+)
+
+// Heap is the costed access method for a row-store table (the clustered
+// heap / clustered-index leaf level).
+type Heap struct {
+	T *storage.Table
+}
+
+// ChargeScan charges the cost of scanning nominal rows [fromNominal,
+// fromNominal+count): buffer-pool reads with readahead, a sequential LLC
+// touch over the nominal byte range, and per-row scan instructions.
+// The caller separately iterates the actual rows for the data.
+func (h Heap) ChargeScan(ctx *Ctx, fromNominal, count int64, preds int) {
+	if count <= 0 {
+		return
+	}
+	t := h.T
+	firstPage := t.PageOfNominal(fromNominal)
+	lastPage := t.PageOfNominal(fromNominal + count - 1)
+	nPages := lastPage - firstPage + 1
+	ctx.BP.Scan(ctx.P, t.Data, firstPage, nPages, 64)
+	base := t.Data.PageAddr(firstPage)
+	ctx.TouchSeq(base, nPages*storage.PageBytes, false, 8)
+	ctx.TouchMeta(float64(count))
+	ctx.CPU(float64(count) * (ctx.Cost.RowScanIPR + float64(preds)*ctx.Cost.PredIPR))
+}
+
+// ProbePoint charges a single-row access at nominal row nid: one page
+// probe with latch semantics plus a couple of line touches.
+func (h Heap) ProbePoint(ctx *Ctx, nid int64, write bool) {
+	t := h.T
+	page := t.PageOfNominal(nid)
+	ctx.BP.Probe(ctx.P, t.Data, page, write, ctx.Cost.RowOverheadNs)
+	addr := t.Data.PageAddr(page) + uint64(nid%t.RowsPerPage())*uint64(t.RowWidth())
+	ctx.TouchSeq(addr, t.RowWidth(), write, 2)
+	ctx.TouchMeta(16) // per-operation engine-state accesses
+	if write {
+		ctx.CPU(ctx.Cost.UpdateInstr)
+	} else {
+		ctx.CPU(ctx.Cost.SeekInstr * 0.3)
+	}
+}
+
+// ChargeInsert charges appending one nominal row at the current end of
+// the heap (the growing-table hotspot: consecutive inserts hit the same
+// last page until it fills).
+func (h Heap) ChargeInsert(ctx *Ctx) {
+	t := h.T
+	nid := t.NominalRows() // next row lands here
+	page := t.PageOfNominal(nid)
+	ctx.BP.Probe(ctx.P, t.Data, page, true, ctx.Cost.RowOverheadNs)
+	ctx.TouchSeq(t.Data.PageAddr(page), t.RowWidth(), true, 2)
+	ctx.CPU(ctx.Cost.InsertInstr)
+}

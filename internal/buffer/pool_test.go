@@ -1,0 +1,231 @@
+package buffer
+
+import (
+	"testing"
+	"testing/quick"
+
+	"repro/internal/iodev"
+	"repro/internal/metrics"
+	"repro/internal/sim"
+	"repro/internal/storage"
+)
+
+func setup(capacityBytes int64) (*sim.Sim, *Pool, *metrics.Counters) {
+	s := sim.New(1)
+	ctr := &metrics.Counters{}
+	dev := iodev.New(iodev.PaperSSD(), ctr)
+	p := New(s, dev, ctr, capacityBytes)
+	return s, p, ctr
+}
+
+func file(id int, pages int64) *storage.File {
+	return &storage.File{ID: id, Name: "f", Region: uint64(id) << 40, Pages: pages}
+}
+
+func TestProbeMissThenHit(t *testing.T) {
+	s, p, ctr := setup(10 << 20)
+	f := file(1, 1000)
+	p.Register(f)
+	s.Spawn("w", func(proc *sim.Proc) {
+		if p.Probe(proc, f, 42, false, 500) {
+			t.Error("first probe should miss")
+		}
+		if !p.Probe(proc, f, 42, false, 500) {
+			t.Error("second probe should hit")
+		}
+	})
+	s.Run(sim.Time(sim.Second))
+	if ctr.BufferMisses != 1 || ctr.BufferHits != 1 {
+		t.Fatalf("hits=%d misses=%d", ctr.BufferHits, ctr.BufferMisses)
+	}
+	if ctr.SSDReadBytes != storage.PageBytes {
+		t.Fatalf("read bytes = %d", ctr.SSDReadBytes)
+	}
+}
+
+func TestScanReadaheadCoalesces(t *testing.T) {
+	s, p, ctr := setup(100 << 20)
+	f := file(1, 10000)
+	p.Register(f)
+	var misses int64
+	s.Spawn("w", func(proc *sim.Proc) {
+		misses = p.Scan(proc, f, 0, 1000, 64)
+	})
+	s.Run(sim.Time(10 * sim.Second))
+	if misses != 1000 {
+		t.Fatalf("misses = %d", misses)
+	}
+	// 1000 pages with 64-page readahead: ~16 I/O requests, not 1000.
+	if ctr.SSDReadOps > 20 {
+		t.Fatalf("read ops = %d, want coalesced", ctr.SSDReadOps)
+	}
+	// Rescan hits.
+	s.Spawn("w2", func(proc *sim.Proc) {
+		if m := p.Scan(proc, f, 0, 1000, 64); m != 0 {
+			t.Errorf("rescan missed %d pages", m)
+		}
+	})
+	s.Run(sim.Time(20 * sim.Second))
+}
+
+func TestEvictionUnderPressure(t *testing.T) {
+	// Capacity 128 pages; scan 1000 pages: residency stays at capacity.
+	s, p, _ := setup(128 * storage.PageBytes)
+	f := file(1, 10000)
+	p.Register(f)
+	s.Spawn("w", func(proc *sim.Proc) {
+		p.Scan(proc, f, 0, 1000, 32)
+	})
+	s.Run(sim.Time(100 * sim.Second))
+	if p.ResidentPages() > p.CapacityPages() {
+		t.Fatalf("resident %d exceeds capacity %d", p.ResidentPages(), p.CapacityPages())
+	}
+	// Re-scan misses heavily (thrashing).
+	var misses int64
+	s.Spawn("w2", func(proc *sim.Proc) {
+		misses = p.Scan(proc, f, 0, 1000, 32)
+	})
+	s.Run(sim.Time(200 * sim.Second))
+	if misses < 800 {
+		t.Fatalf("rescan misses = %d, want thrashing", misses)
+	}
+}
+
+func TestDirtyEvictionWritesBack(t *testing.T) {
+	s, p, ctr := setup(128 * storage.PageBytes)
+	f := file(1, 10000)
+	p.Register(f)
+	s.Spawn("w", func(proc *sim.Proc) {
+		for i := int64(0); i < 300; i++ {
+			p.Probe(proc, f, i, true, 0)
+		}
+	})
+	s.Run(sim.Time(100 * sim.Second))
+	if ctr.SSDWriteBytes == 0 {
+		t.Fatal("dirty evictions produced no writes")
+	}
+}
+
+func TestSamePageLatchContention(t *testing.T) {
+	s, p, ctr := setup(100 << 20)
+	f := file(1, 100)
+	p.Register(f)
+	// Warm the page so waits are PAGELATCH, not PAGEIOLATCH.
+	s.Spawn("warm", func(proc *sim.Proc) {
+		p.Probe(proc, f, 7, false, 0)
+	})
+	s.Run(sim.Time(sim.Second))
+	for i := 0; i < 10; i++ {
+		s.Spawn("w", func(proc *sim.Proc) {
+			p.Probe(proc, f, 7, true, 5000) // 5us hold
+		})
+	}
+	s.Run(sim.Time(10 * sim.Second))
+	if ctr.WaitNs[metrics.WaitPageLatch] == 0 {
+		t.Fatal("no PAGELATCH waits under same-page contention")
+	}
+}
+
+func TestIOLatchWaitClassification(t *testing.T) {
+	s, p, ctr := setup(100 << 20)
+	f := file(1, 100)
+	p.Register(f)
+	// Two procs probe the same cold page; the second waits during the
+	// first's I/O and must record PAGEIOLATCH.
+	for i := 0; i < 2; i++ {
+		s.Spawn("w", func(proc *sim.Proc) {
+			p.Probe(proc, f, 9, false, 0)
+		})
+	}
+	s.Run(sim.Time(10 * sim.Second))
+	if ctr.WaitNs[metrics.WaitPageIOLatch] == 0 {
+		t.Fatal("no PAGEIOLATCH wait recorded")
+	}
+	if ctr.BufferMisses != 1 || ctr.BufferHits != 1 {
+		t.Fatalf("hits=%d misses=%d (second probe should hit after wait)", ctr.BufferHits, ctr.BufferMisses)
+	}
+}
+
+func TestCheckpointerFlushesDirtyPages(t *testing.T) {
+	s, p, ctr := setup(100 << 20)
+	f := file(1, 1000)
+	p.Register(f)
+	p.CheckpointInterval = 100 * sim.Millisecond
+	p.StartCheckpointer()
+	s.Spawn("w", func(proc *sim.Proc) {
+		for i := int64(0); i < 100; i++ {
+			p.Probe(proc, f, i, true, 0)
+		}
+	})
+	s.Run(sim.Time(sim.Second))
+	p.Stop()
+	s.Run(sim.Time(2 * sim.Second))
+	if ctr.SSDWriteBytes < 100*storage.PageBytes {
+		t.Fatalf("checkpoint wrote %d bytes, want >= %d", ctr.SSDWriteBytes, 100*storage.PageBytes)
+	}
+}
+
+func TestWarmFileMakesScansHit(t *testing.T) {
+	s, p, _ := setup(100 << 20)
+	f := file(1, 1000)
+	p.Register(f)
+	p.WarmFile(f)
+	var misses int64
+	s.Spawn("w", func(proc *sim.Proc) {
+		misses = p.Scan(proc, f, 0, 1000, 64)
+	})
+	s.Run(sim.Time(10 * sim.Second))
+	if misses != 0 {
+		t.Fatalf("warm scan missed %d", misses)
+	}
+}
+
+func TestRegisterTwicePanics(t *testing.T) {
+	_, p, _ := setup(1 << 20)
+	f := file(1, 10)
+	p.Register(f)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	p.Register(f)
+}
+
+func TestResidencyInvariantUnderRandomWorkloadProperty(t *testing.T) {
+	f := func(seed int64, capPages uint8) bool {
+		s := sim.New(seed)
+		ctr := &metrics.Counters{}
+		dev := iodev.New(iodev.PaperSSD(), ctr)
+		p := New(s, dev, ctr, (int64(capPages%64)+64)*storage.PageBytes)
+		f1 := &storage.File{ID: 1, Name: "a", Region: 1 << 30, Pages: 500}
+		f2 := &storage.File{ID: 2, Name: "b", Region: 2 << 30, Pages: 500}
+		p.Register(f1)
+		p.Register(f2)
+		g := sim.NewRNG(seed)
+		ok := true
+		s.Spawn("w", func(proc *sim.Proc) {
+			for i := 0; i < 400; i++ {
+				file := f1
+				if g.Bool(0.5) {
+					file = f2
+				}
+				if g.Bool(0.3) {
+					p.Scan(proc, file, g.Int64n(400), g.Int64n(40)+1, 16)
+				} else {
+					p.Probe(proc, file, g.Int64n(500), g.Bool(0.4), 200)
+				}
+				if p.ResidentPages() > p.CapacityPages() {
+					ok = false
+					return
+				}
+			}
+		})
+		s.Run(sim.Time(3600 * sim.Second))
+		// Hits + misses account for every access.
+		return ok && ctr.BufferHits+ctr.BufferMisses > 0
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 10}); err != nil {
+		t.Fatal(err)
+	}
+}

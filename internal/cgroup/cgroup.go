@@ -1,0 +1,114 @@
+// Package cgroup provides the resource-governance knobs the paper turns:
+// a cpuset controller restricting which logical cores the database may
+// schedule on, and a blkio controller imposing read/write bandwidth limits
+// on the storage device (systemd's BlockIOReadBandwidth /
+// BlockIOWriteBandwidth properties).
+//
+// The controllers do not enforce anything themselves; the engine's
+// scheduler consults the cpuset, and the device consults the blkio
+// throttles — exactly how Linux cgroups interpose on a real system.
+package cgroup
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/hw"
+	"repro/internal/iodev"
+)
+
+// CPUSet restricts the set of logical cores available to the database.
+type CPUSet struct {
+	machine *hw.Machine
+	allowed []int
+}
+
+// NewCPUSet creates a cpuset allowing all of the machine's cores.
+func NewCPUSet(m *hw.Machine) *CPUSet {
+	cs := &CPUSet{machine: m}
+	cs.AllowN(m.Spec.LogicalCores())
+	return cs
+}
+
+// Allow sets the allowed core IDs explicitly.
+func (c *CPUSet) Allow(ids []int) error {
+	max := c.machine.Spec.LogicalCores()
+	seen := make(map[int]bool, len(ids))
+	var list []int
+	for _, id := range ids {
+		if id < 0 || id >= max {
+			return fmt.Errorf("cgroup: core %d out of range [0,%d)", id, max)
+		}
+		if !seen[id] {
+			seen[id] = true
+			list = append(list, id)
+		}
+	}
+	if len(list) == 0 {
+		return fmt.Errorf("cgroup: empty cpuset")
+	}
+	sort.Ints(list)
+	c.allowed = list
+	c.updateTopology()
+	return nil
+}
+
+// AllowN allows the first n cores in the paper's allocation order:
+// socket 0's physical cores, then socket 1's, then all second
+// hyperthreads. The machine's core numbering is laid out so this is
+// simply cores [0, n).
+func (c *CPUSet) AllowN(n int) {
+	max := c.machine.Spec.LogicalCores()
+	if n < 1 {
+		n = 1
+	}
+	if n > max {
+		n = max
+	}
+	ids := make([]int, n)
+	for i := range ids {
+		ids[i] = i
+	}
+	c.allowed = ids
+	c.updateTopology()
+}
+
+// updateTopology tells the machine whether the allocation spans sockets,
+// which controls the remote-memory fraction of LLC misses.
+func (c *CPUSet) updateTopology() {
+	sockets := make(map[int]bool)
+	for _, id := range c.allowed {
+		s, _, _ := c.machine.Locate(id)
+		sockets[s] = true
+	}
+	if len(sockets) > 1 {
+		c.machine.SetRemoteFraction(0.5)
+	} else {
+		c.machine.SetRemoteFraction(0)
+	}
+}
+
+// Allowed returns the allowed core IDs (sorted, do not mutate).
+func (c *CPUSet) Allowed() []int { return c.allowed }
+
+// Count returns the number of allowed cores.
+func (c *CPUSet) Count() int { return len(c.allowed) }
+
+// BlkIO carries the read and write bandwidth throttles for a device.
+type BlkIO struct {
+	Read  *iodev.Throttle
+	Write *iodev.Throttle
+}
+
+// NewBlkIO creates an unlimited blkio controller and attaches it to dev.
+func NewBlkIO(dev *iodev.Device) *BlkIO {
+	b := &BlkIO{Read: iodev.NewThrottle(0), Write: iodev.NewThrottle(0)}
+	dev.SetThrottles(b.Read, b.Write)
+	return b
+}
+
+// SetReadLimit sets BlockIOReadBandwidth in MB/s (0 = unlimited).
+func (b *BlkIO) SetReadLimit(mbps float64) { b.Read.SetLimit(mbps) }
+
+// SetWriteLimit sets BlockIOWriteBandwidth in MB/s (0 = unlimited).
+func (b *BlkIO) SetWriteLimit(mbps float64) { b.Write.SetLimit(mbps) }

@@ -1,0 +1,62 @@
+package cgroup
+
+import (
+	"testing"
+
+	"repro/internal/hw"
+	"repro/internal/iodev"
+	"repro/internal/metrics"
+	"repro/internal/sim"
+)
+
+func newMachine() *hw.Machine {
+	s := sim.New(1)
+	return hw.New(s, hw.PaperSpec(), &metrics.Counters{})
+}
+
+func TestAllowNClampsAndCounts(t *testing.T) {
+	cs := NewCPUSet(newMachine())
+	cs.AllowN(4)
+	if cs.Count() != 4 {
+		t.Fatalf("count = %d", cs.Count())
+	}
+	cs.AllowN(0)
+	if cs.Count() != 1 {
+		t.Fatalf("count after AllowN(0) = %d", cs.Count())
+	}
+	cs.AllowN(99)
+	if cs.Count() != 32 {
+		t.Fatalf("count after AllowN(99) = %d", cs.Count())
+	}
+}
+
+func TestAllowRejectsBadIDs(t *testing.T) {
+	cs := NewCPUSet(newMachine())
+	if err := cs.Allow([]int{0, 99}); err == nil {
+		t.Fatal("expected error for out-of-range core")
+	}
+	if err := cs.Allow(nil); err == nil {
+		t.Fatal("expected error for empty set")
+	}
+	if err := cs.Allow([]int{3, 3, 1}); err != nil {
+		t.Fatal(err)
+	}
+	if got := cs.Allowed(); len(got) != 2 || got[0] != 1 || got[1] != 3 {
+		t.Fatalf("allowed = %v", got)
+	}
+}
+
+func TestBlkIOAttachesThrottles(t *testing.T) {
+	s := sim.New(1)
+	d := iodev.New(iodev.PaperSSD(), &metrics.Counters{})
+	b := NewBlkIO(d)
+	b.SetReadLimit(50)
+	var dur sim.Duration
+	s.Spawn("r", func(p *sim.Proc) {
+		dur = d.Read(p, 50e6)
+	})
+	s.Run(sim.Time(100 * sim.Second))
+	if dur.Seconds() < 0.99 {
+		t.Fatalf("50MB at 50MB/s took %.3fs", dur.Seconds())
+	}
+}

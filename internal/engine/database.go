@@ -1,0 +1,147 @@
+// Package engine assembles the database server the paper measures: the
+// simulated machine, buffer pool, WAL, lock manager, resource governor
+// (cpuset / MAXDOP / memory grants), optimizer, and executor, plus the
+// session API workloads drive.
+package engine
+
+import (
+	"fmt"
+
+	"repro/internal/access"
+	"repro/internal/colstore"
+	"repro/internal/storage"
+)
+
+// Database is a catalog of tables and indexes.
+type Database struct {
+	Name string
+
+	Tables   []*storage.Table
+	BTrees   []*access.BTIndex
+	CSIs     []*access.CSI
+	byName   map[string]*storage.Table
+	ixByName map[string]*access.BTIndex
+	csiByTbl map[int]*access.CSI
+	cci      map[int]bool // tables whose columnstore IS the primary storage
+
+	nextID int
+}
+
+// NewDatabase creates an empty catalog.
+func NewDatabase(name string) *Database {
+	return &Database{
+		Name:     name,
+		byName:   make(map[string]*storage.Table),
+		ixByName: make(map[string]*access.BTIndex),
+		csiByTbl: make(map[int]*access.CSI),
+		cci:      make(map[int]bool),
+	}
+}
+
+func (db *Database) nextFileID() int {
+	db.nextID++
+	return db.nextID
+}
+
+// AddTable creates a table with replication factor k.
+func (db *Database) AddTable(schema *storage.Schema, k int64) *storage.Table {
+	if _, dup := db.byName[schema.Name]; dup {
+		panic(fmt.Sprintf("engine: duplicate table %q", schema.Name))
+	}
+	t := storage.NewTable(db.nextFileID(), schema, k)
+	t.Data.ID = t.ID
+	db.Tables = append(db.Tables, t)
+	db.byName[schema.Name] = t
+	return t
+}
+
+// Table returns a table by name, panicking if absent.
+func (db *Database) Table(name string) *storage.Table {
+	t, ok := db.byName[name]
+	if !ok {
+		panic(fmt.Sprintf("engine: no table %q", name))
+	}
+	return t
+}
+
+// AddBTIndex builds a B-tree index over the table's current rows.
+func (db *Database) AddBTIndex(name string, t *storage.Table, keyCols []string, unique, clustered bool) *access.BTIndex {
+	cols := make([]int, len(keyCols))
+	for i, c := range keyCols {
+		cols[i] = t.Schema.Col(c)
+	}
+	ix := access.NewBTIndex(db.nextFileID(), name, t, cols, unique, clustered)
+	db.BTrees = append(db.BTrees, ix)
+	db.ixByName[name] = ix
+	return ix
+}
+
+// Index returns an index by name, panicking if absent.
+func (db *Database) Index(name string) *access.BTIndex {
+	ix, ok := db.ixByName[name]
+	if !ok {
+		panic(fmt.Sprintf("engine: no index %q", name))
+	}
+	return ix
+}
+
+// AddCSI builds a columnstore index over all of the table's columns.
+func (db *Database) AddCSI(t *storage.Table) *access.CSI {
+	cols := make([]int, t.NCols())
+	for i := range cols {
+		cols[i] = i
+	}
+	csi := access.NewCSI(colstore.Build(db.nextFileID(), t, cols))
+	db.CSIs = append(db.CSIs, csi)
+	db.csiByTbl[t.ID] = csi
+	return csi
+}
+
+// CSIOf returns the table's columnstore index, or nil.
+func (db *Database) CSIOf(t *storage.Table) *access.CSI { return db.csiByTbl[t.ID] }
+
+// MarkCCI declares the table's columnstore as its primary (clustered)
+// storage: the compressed columnstore is the data (the paper's DW
+// configuration), and the row image does not count toward size.
+func (db *Database) MarkCCI(t *storage.Table) {
+	if db.csiByTbl[t.ID] == nil {
+		panic("engine: MarkCCI before AddCSI")
+	}
+	db.cci[t.ID] = true
+}
+
+// IsCCI reports whether the table uses clustered columnstore storage.
+func (db *Database) IsCCI(t *storage.Table) bool { return db.cci[t.ID] }
+
+// DataBytes returns the nominal data size (Table 2's "Data" column).
+// Clustered-columnstore tables count at their compressed size.
+func (db *Database) DataBytes() int64 {
+	var total int64
+	for _, t := range db.Tables {
+		if db.cci[t.ID] {
+			total += db.csiByTbl[t.ID].Ix.NominalBytes()
+		} else {
+			total += t.NominalDataBytes()
+		}
+	}
+	return total
+}
+
+// IndexBytes returns the nominal index size (Table 2's "Index" column).
+// A clustered columnstore is data, not index; updatable NCCIs (the HTAP
+// configuration) count as index.
+func (db *Database) IndexBytes() int64 {
+	var total int64
+	for _, ix := range db.BTrees {
+		total += ix.NominalBytes()
+	}
+	for _, csi := range db.CSIs {
+		if !db.cci[csi.Ix.Table.ID] {
+			total += csi.Ix.NominalBytes()
+		}
+	}
+	return total
+}
+
+// TotalBytes returns data + index nominal size.
+func (db *Database) TotalBytes() int64 { return db.DataBytes() + db.IndexBytes() }

@@ -1,0 +1,189 @@
+package engine
+
+import (
+	"testing"
+
+	"repro/internal/access"
+	"repro/internal/btree"
+	"repro/internal/exec"
+	"repro/internal/metrics"
+	"repro/internal/opt"
+	"repro/internal/sim"
+	"repro/internal/storage"
+)
+
+func testDB() *Database {
+	db := NewDatabase("testdb")
+	acct := db.AddTable(storage.NewSchema("account",
+		storage.Column{Name: "id", Type: storage.TInt, Width: 8},
+		storage.Column{Name: "bal", Type: storage.TDecimal, Width: 8},
+	), 10)
+	for i := int64(0); i < 500; i++ {
+		acct.AppendLoad([]int64{i, 1000})
+	}
+	db.AddBTIndex("pk_account", acct, []string{"id"}, true, true)
+	hist := db.AddTable(storage.NewSchema("history",
+		storage.Column{Name: "hid", Type: storage.TInt, Width: 8},
+		storage.Column{Name: "aid", Type: storage.TInt, Width: 8},
+		storage.Column{Name: "amt", Type: storage.TDecimal, Width: 8},
+	), 10)
+	db.AddBTIndex("pk_history", hist, []string{"hid"}, true, true)
+	return db
+}
+
+func TestServerOLTPRoundTrip(t *testing.T) {
+	s := NewServer(Config{Seed: 3})
+	db := testDB()
+	s.AttachDB(db)
+	s.WarmBufferPool()
+	s.Start()
+	acct := db.Table("account")
+	pk := db.Index("pk_account")
+	hist := db.Table("history")
+	hpk := db.Index("pk_history")
+
+	const users = 8
+	done := 0
+	for u := 0; u < users; u++ {
+		s.Sim.Spawn("user", func(p *sim.Proc) {
+			sess := s.NewSession(p)
+			for i := 0; i < 20; i++ {
+				tx := sess.Begin()
+				nid := sess.Ctx.RNG.Int64n(acct.NominalRows())
+				actual := acct.ToActual(nid)
+				key := btree.Key{acct.Get(actual, 0)}
+				if _, ok := sess.Read(tx, pk, key, nid); !ok {
+					t.Errorf("read miss for key %v", key)
+				}
+				sess.Update(tx, pk, key, nid, func(rowID int64) {
+					acct.Set(rowID, 1, acct.Get(rowID, 1)+5)
+				})
+				sess.Insert(tx, hist, []int64{hist.NominalRows(), nid, 5}, []*access.BTIndex{hpk}, nil)
+				sess.Commit(tx)
+			}
+			done++
+		})
+	}
+	s.Sim.Run(sim.Time(60 * sim.Second))
+	s.Stop()
+	s.Sim.Run(sim.Time(120 * sim.Second))
+	if done != users {
+		t.Fatalf("finished %d/%d users", done, users)
+	}
+	if s.Ctr.TxnCommits != users*20 {
+		t.Fatalf("commits = %d", s.Ctr.TxnCommits)
+	}
+	if s.Ctr.SSDWriteBytes == 0 {
+		t.Fatal("no log writes")
+	}
+	if s.Ctr.Instructions == 0 {
+		t.Fatal("no CPU charged")
+	}
+}
+
+func TestServerAnalyticalQuery(t *testing.T) {
+	s := NewServer(Config{Seed: 4})
+	db := testDB()
+	csi := db.AddCSI(db.Table("account"))
+	_ = csi
+	s.AttachDB(db)
+	s.WarmBufferPool()
+	s.Start()
+	acct := db.Table("account")
+	q := &opt.LNode{
+		Kind: opt.LAgg,
+		Left: &opt.LNode{
+			Kind: opt.LScan,
+			Heap: access.Heap{T: acct},
+			CSI:  db.CSIOf(acct),
+			Proj: []int{1},
+			Name: "account",
+		},
+		Aggs:    []exec.AggSpec{{Kind: exec.AggSum, Col: 0}, {Kind: exec.AggCount}},
+		NGroups: 1,
+	}
+	var res QueryResult
+	s.Sim.Spawn("analyst", func(p *sim.Proc) {
+		res = s.RunQuery(p, q, 0, 0)
+	})
+	s.Sim.Run(sim.Time(60 * sim.Second))
+	s.Stop()
+	s.Sim.Run(sim.Time(120 * sim.Second))
+	if len(res.Rows) != 1 {
+		t.Fatalf("rows = %d", len(res.Rows))
+	}
+	// 500 actual rows * K=10 weight * 1000 balance.
+	if res.Rows[0][0] != 500*10*1000 || res.Rows[0][1] != 5000 {
+		t.Fatalf("agg = %v", res.Rows[0])
+	}
+	if s.Ctr.QueriesDone != 1 {
+		t.Fatalf("queries done = %d", s.Ctr.QueriesDone)
+	}
+}
+
+func TestEffectiveDopRespectsGovernor(t *testing.T) {
+	s := NewServer(Config{Seed: 5, MaxDOP: 8})
+	s.CPUs.AllowN(4)
+	if d := s.EffectiveDop(0); d != 4 {
+		t.Fatalf("dop = %d, want 4 (cpuset)", d)
+	}
+	s.CPUs.AllowN(32)
+	if d := s.EffectiveDop(0); d != 8 {
+		t.Fatalf("dop = %d, want 8 (MAXDOP)", d)
+	}
+	if d := s.EffectiveDop(2); d != 2 {
+		t.Fatalf("dop = %d, want 2 (hint)", d)
+	}
+}
+
+func TestTable2StyleSizes(t *testing.T) {
+	db := testDB()
+	if db.DataBytes() <= 0 || db.IndexBytes() <= 0 {
+		t.Fatal("sizes not positive")
+	}
+	if db.TotalBytes() != db.DataBytes()+db.IndexBytes() {
+		t.Fatal("total mismatch")
+	}
+}
+
+func TestWorkspaceSemaphoreQueuesGrants(t *testing.T) {
+	s := NewServer(Config{Seed: 9})
+	db := testDB()
+	s.AttachDB(db)
+	s.WarmBufferPool()
+	s.Start()
+	acct := db.Table("account")
+	// A query whose grant demand is large: grant requests serialize when
+	// concurrent queries exceed the workspace.
+	mkQuery := func() *opt.LNode {
+		return &opt.LNode{
+			Kind: opt.LAgg,
+			Left: &opt.LNode{
+				Kind: opt.LScan, Heap: access.Heap{T: acct},
+				Proj: []int{0, 1}, Name: "account",
+			},
+			Groups:  []int{0},
+			Aggs:    []exec.AggSpec{{Kind: exec.AggSum, Col: 1}},
+			NGroups: 1e12, // force the grant to the per-query cap
+		}
+	}
+	// Shrink workspace so the three 1MB-floor grants cannot coexist.
+	s.workspace = 2 << 20
+	s.Cfg.GrantFrac = 0.75
+	done := 0
+	for i := 0; i < 3; i++ {
+		s.Sim.Spawn("q", func(p *sim.Proc) {
+			s.RunQuery(p, mkQuery(), 0, 0.75)
+			done++
+		})
+	}
+	s.Sim.Run(sim.Time(600 * sim.Second))
+	s.Stop()
+	s.Sim.Run(sim.Time(1200 * sim.Second))
+	if done != 3 {
+		t.Fatalf("queries done = %d", done)
+	}
+	if s.Ctr.WaitNs[metrics.WaitResourceSem] == 0 {
+		t.Fatal("no RESOURCE_SEMAPHORE waits despite over-committed workspace")
+	}
+}

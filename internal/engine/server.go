@@ -1,0 +1,328 @@
+package engine
+
+import (
+	"repro/internal/access"
+	"repro/internal/buffer"
+	"repro/internal/cgroup"
+	"repro/internal/exec"
+	"repro/internal/hw"
+	"repro/internal/iodev"
+	"repro/internal/lock"
+	"repro/internal/metrics"
+	"repro/internal/opt"
+	"repro/internal/sim"
+	"repro/internal/txn"
+	"repro/internal/wal"
+)
+
+// Config sizes a server. Zero values take the paper's defaults.
+type Config struct {
+	Seed int64
+
+	Machine hw.Spec
+	SSD     iodev.Spec
+
+	// TotalMemoryBytes is the host memory (64 GB on the paper's box).
+	// SQL Server gets ~80% of it; of that, the buffer pool takes
+	// BufferFrac and the query workspace the rest.
+	TotalMemoryBytes int64
+	SQLMemFrac       float64
+	BufferFrac       float64
+
+	// Resource governor.
+	MaxDOP          int     // 0 = number of allowed cores
+	GrantFrac       float64 // per-query grant cap as a fraction of workspace
+	CostThresholdNs float64
+
+	Cost *access.CostModel
+}
+
+// DefaultConfig returns the paper's testbed configuration.
+func DefaultConfig() Config {
+	return Config{
+		Seed:             1,
+		Machine:          hw.PaperSpec(),
+		SSD:              iodev.PaperSSD(),
+		TotalMemoryBytes: 64 << 30,
+		SQLMemFrac:       0.80,
+		BufferFrac:       0.82,
+		GrantFrac:        0.25,
+		CostThresholdNs:  6e8,
+		Cost:             access.DefaultCost(),
+	}
+}
+
+// Server is one running database server inside one simulation.
+type Server struct {
+	Cfg Config
+
+	Sim   *sim.Sim
+	M     *hw.Machine
+	Dev   *iodev.Device
+	BlkIO *cgroup.BlkIO
+	CPUs  *cgroup.CPUSet
+	BP    *buffer.Pool
+	Log   *wal.Log
+	Locks *lock.Manager
+	Txns  *txn.Manager
+	Ctr   *metrics.Counters
+	Smp   *metrics.Sampler
+
+	DB *Database
+
+	logLatch   *lock.NamedLatch
+	allocLatch map[int]*lock.NamedLatch
+
+	workspace    int64 // query workspace bytes
+	workspaceUse int64
+	grantQ       sim.WaitQueue
+
+	nextCore int
+	stopped  bool
+	tempBase uint64
+	metaBase uint64
+}
+
+// NewServer builds a server and its background services.
+func NewServer(cfg Config) *Server {
+	cfg = cfg.withDefaults()
+	sm := sim.New(cfg.Seed)
+	ctr := &metrics.Counters{}
+	m := hw.New(sm, cfg.Machine, ctr)
+	dev := iodev.New(cfg.SSD, ctr)
+	sqlMem := int64(float64(cfg.TotalMemoryBytes) * cfg.SQLMemFrac)
+	bufBytes := int64(float64(sqlMem) * cfg.BufferFrac)
+	s := &Server{
+		Cfg:        cfg,
+		Sim:        sm,
+		M:          m,
+		Dev:        dev,
+		BP:         buffer.New(sm, dev, ctr, bufBytes),
+		Log:        wal.New(sm, dev, ctr),
+		Locks:      lock.NewManager(sm, ctr),
+		Ctr:        ctr,
+		Smp:        metrics.NewSampler(ctr),
+		logLatch:   lock.NewNamedLatch("LOG_BUFFER", ctr),
+		allocLatch: make(map[int]*lock.NamedLatch),
+		workspace:  sqlMem - bufBytes,
+	}
+	s.Txns = txn.NewManager(s.Locks, s.Log, ctr)
+	s.CPUs = cgroup.NewCPUSet(m)
+	s.BlkIO = cgroup.NewBlkIO(dev)
+	s.tempBase = m.ReserveRegion(8 << 30)
+	s.metaBase = m.ReserveRegion(cfg.Cost.MetaBytes + (1 << 20))
+	return s
+}
+
+// withDefaults fills zero-valued fields from DefaultConfig, so callers
+// may override only what an experiment varies.
+func (cfg Config) withDefaults() Config {
+	d := DefaultConfig()
+	if cfg.Seed == 0 {
+		cfg.Seed = d.Seed
+	}
+	if cfg.Machine.Sockets == 0 {
+		cfg.Machine = d.Machine
+	}
+	if cfg.SSD.ReadMBps == 0 {
+		cfg.SSD = d.SSD
+	}
+	if cfg.TotalMemoryBytes == 0 {
+		cfg.TotalMemoryBytes = d.TotalMemoryBytes
+	}
+	if cfg.SQLMemFrac == 0 {
+		cfg.SQLMemFrac = d.SQLMemFrac
+	}
+	if cfg.BufferFrac == 0 {
+		cfg.BufferFrac = d.BufferFrac
+	}
+	if cfg.GrantFrac == 0 {
+		cfg.GrantFrac = d.GrantFrac
+	}
+	if cfg.CostThresholdNs == 0 {
+		cfg.CostThresholdNs = d.CostThresholdNs
+	}
+	if cfg.Cost == nil {
+		cfg.Cost = d.Cost
+	}
+	return cfg
+}
+
+// Start launches background services (log writer, checkpointer, metrics
+// sampler).
+func (s *Server) Start() {
+	s.Log.Start()
+	s.BP.StartCheckpointer()
+	s.Smp.Start(s.Sim)
+}
+
+// Stop flags shutdown: background services exit at their next wakeup and
+// workload drivers should consult Stopped.
+func (s *Server) Stop() {
+	s.stopped = true
+	s.Log.Stop()
+	s.BP.Stop()
+	s.Smp.Stop()
+}
+
+// Stopped reports whether shutdown was requested.
+func (s *Server) Stopped() bool { return s.stopped }
+
+// AttachDB registers a database's files with the buffer pool and gives
+// every object a synthetic address region.
+func (s *Server) AttachDB(db *Database) {
+	s.DB = db
+	for _, t := range db.Tables {
+		t.Data.Region = s.M.ReserveRegion(t.NominalDataBytes() + (64 << 20))
+		s.BP.Register(t.Data)
+	}
+	for _, ix := range db.BTrees {
+		ix.File.Region = s.M.ReserveRegion(ix.File.Bytes() + (64 << 20))
+		s.BP.Register(ix.File)
+	}
+	for _, csi := range db.CSIs {
+		csi.Ix.File.Region = s.M.ReserveRegion(csi.Ix.File.Bytes() + (64 << 20))
+		s.BP.Register(csi.Ix.File)
+	}
+}
+
+// WarmBufferPool marks data resident post-load, as after the paper's
+// load-then-run procedure (up to pool capacity). Primary storage warms
+// first — columnstores and indexes, then row heaps of non-CCI tables —
+// so what stays cold when the database exceeds memory is realistic.
+func (s *Server) WarmBufferPool() {
+	for _, csi := range s.DB.CSIs {
+		s.BP.WarmFile(csi.Ix.File)
+	}
+	for _, ix := range s.DB.BTrees {
+		s.BP.WarmFile(ix.File)
+	}
+	for _, t := range s.DB.Tables {
+		if !s.DB.IsCCI(t) {
+			s.BP.WarmFile(t.Data)
+		}
+	}
+}
+
+// PickCore assigns a session to an allowed core round-robin.
+func (s *Server) PickCore() int {
+	ids := s.CPUs.Allowed()
+	c := ids[s.nextCore%len(ids)]
+	s.nextCore++
+	return c
+}
+
+// NewCtx builds an execution context for a session proc.
+func (s *Server) NewCtx(p *sim.Proc) *access.Ctx {
+	return &access.Ctx{
+		P:        p,
+		Core:     s.PickCore(),
+		M:        s.M,
+		BP:       s.BP,
+		Ctr:      s.Ctr,
+		Cost:     s.Cfg.Cost,
+		RNG:      s.Sim.RNG().Fork(),
+		MetaBase: s.metaBase,
+	}
+}
+
+// EffectiveDop returns the DOP the resource governor offers a query.
+func (s *Server) EffectiveDop(maxdopHint int) int {
+	d := s.CPUs.Count()
+	if s.Cfg.MaxDOP > 0 && s.Cfg.MaxDOP < d {
+		d = s.Cfg.MaxDOP
+	}
+	if maxdopHint > 0 && maxdopHint < d {
+		d = maxdopHint
+	}
+	if d < 1 {
+		d = 1
+	}
+	return d
+}
+
+// Planner builds an optimizer bound to current server state.
+func (s *Server) Planner(dop int) *opt.Planner {
+	pl := opt.NewPlanner(s.Cfg.Cost)
+	pl.WorkspaceBytes = s.workspace
+	pl.GrantFrac = s.Cfg.GrantFrac
+	pl.BufferBytes = s.BP.CapacityPages() * 8192
+	if s.DB != nil {
+		pl.DBBytes = s.DB.TotalBytes()
+	}
+	pl.Dop = dop
+	pl.CostThresholdNs = s.Cfg.CostThresholdNs
+	return pl
+}
+
+// acquireWorkspace blocks until bytes of query workspace are available
+// (RESOURCE_SEMAPHORE).
+func (s *Server) acquireWorkspace(p *sim.Proc, bytes int64) {
+	start := p.Now()
+	for s.workspaceUse+bytes > s.workspace && !s.stopped {
+		s.grantQ.Wait(p)
+	}
+	s.workspaceUse += bytes
+	s.Ctr.AddWait(metrics.WaitResourceSem, sim.Duration(p.Now()-start))
+}
+
+func (s *Server) releaseWorkspace(bytes int64) {
+	s.workspaceUse -= bytes
+	if s.workspaceUse < 0 {
+		s.workspaceUse = 0
+	}
+	s.grantQ.WakeAll(s.Sim)
+}
+
+// QueryResult is one analytical query execution.
+type QueryResult struct {
+	Rows    []exec.Row
+	Stats   exec.QueryStats
+	Info    opt.PlanInfo
+	Elapsed sim.Duration
+}
+
+// RunQuery optimizes and executes a logical query on the session proc.
+// maxdopHint mirrors the MAXDOP query hint (0 = server setting); grantPct
+// overrides the per-query grant cap when > 0 (the paper's Section 8
+// query-memory-limit knob).
+func (s *Server) RunQuery(p *sim.Proc, q *opt.LNode, maxdopHint int, grantPct float64) QueryResult {
+	start := p.Now()
+	dop := s.EffectiveDop(maxdopHint)
+	pl := s.Planner(dop)
+	if grantPct > 0 {
+		pl.GrantFrac = grantPct
+	}
+	plan, info := pl.Plan(q)
+	if info.GrantBytes > 0 {
+		s.acquireWorkspace(p, info.GrantBytes)
+		defer s.releaseWorkspace(info.GrantBytes)
+	}
+	env := &exec.Env{
+		Sim: s.Sim, M: s.M, BP: s.BP, Dev: s.Dev, Ctr: s.Ctr,
+		Cost: s.Cfg.Cost, RNG: s.Sim.RNG().Fork(),
+		Cores: s.CPUs.Allowed(), Dop: info.Dop,
+		Grant:      &exec.Grant{Bytes: info.GrantBytes},
+		TempRegion: s.tempBase,
+		MetaBase:   s.metaBase,
+		Home:       s.PickCore(),
+	}
+	rows, st := exec.Run(p, env, plan)
+	s.Ctr.QueriesDone++
+	return QueryResult{Rows: rows, Stats: st, Info: info, Elapsed: sim.Duration(p.Now() - start)}
+}
+
+// ExplainQuery returns the chosen plan without executing it (Figure 7).
+func (s *Server) ExplainQuery(q *opt.LNode, maxdopHint int) (*exec.Node, opt.PlanInfo) {
+	dop := s.EffectiveDop(maxdopHint)
+	return s.Planner(dop).Plan(q)
+}
+
+func (s *Server) tableAllocLatch(t int) *lock.NamedLatch {
+	l := s.allocLatch[t]
+	if l == nil {
+		l = lock.NewNamedLatch("ALLOC", s.Ctr)
+		s.allocLatch[t] = l
+	}
+	return l
+}

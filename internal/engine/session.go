@@ -1,0 +1,177 @@
+package engine
+
+import (
+	"repro/internal/access"
+	"repro/internal/btree"
+	"repro/internal/lock"
+	"repro/internal/sim"
+	"repro/internal/storage"
+	"repro/internal/txn"
+)
+
+// Session is one client connection: a proc with an execution context
+// bound to a scheduler (logical core), issuing transactions through the
+// engine's OLTP primitives.
+type Session struct {
+	S   *Server
+	P   *sim.Proc
+	Ctx *access.Ctx
+}
+
+// NewSession creates a session for the proc.
+func (s *Server) NewSession(p *sim.Proc) *Session {
+	return &Session{S: s, P: p, Ctx: s.NewCtx(p)}
+}
+
+// Begin starts a transaction.
+func (sess *Session) Begin() *txn.Txn {
+	return sess.S.Txns.Begin()
+}
+
+// Commit charges commit processing, flushes pending work, and commits
+// (group commit wait), taking the log-buffer latch briefly as the commit
+// record is formatted.
+func (sess *Session) Commit(tx *txn.Txn) {
+	sess.Ctx.CPU(sess.Ctx.Cost.TxnInstr)
+	sess.Ctx.TouchMeta(3500)
+	sess.Ctx.Flush()
+	sess.S.logLatch.Do(sess.P, 300)
+	tx.Commit(sess.P)
+}
+
+// stmtOverhead charges the fixed per-statement engine work (protocol,
+// bind, plan-cache lookup, execution context).
+func (sess *Session) stmtOverhead() {
+	sess.Ctx.CPU(sess.Ctx.Cost.StmtInstr)
+	sess.Ctx.Stall(sess.Ctx.Cost.StmtStallNs)
+	// The statement's walk over shared engine state (plan cache, schema,
+	// lock manager, TDS buffers) — the transactional working set whose
+	// fit in a few MB of LLC produces Table 4's small sufficient sizes.
+	sess.Ctx.TouchMeta(2800)
+}
+
+// Abort rolls back.
+func (sess *Session) Abort(tx *txn.Txn) {
+	sess.Ctx.Flush()
+	tx.Abort()
+}
+
+// logRecord accounts log bytes for a modification (row image + header).
+func logRecord(tx *txn.Txn, t *storage.Table) {
+	tx.LogWrite(t.RowWidth() + 96)
+}
+
+// Read performs an index point read at nominal row nid: S row lock, index
+// probe, base-row fetch for nonclustered indexes. It returns the actual
+// row ID.
+func (sess *Session) Read(tx *txn.Txn, ix *access.BTIndex, key btree.Key, nid int64) (int64, bool) {
+	sess.stmtOverhead()
+	if !tx.Lock(sess.P, lock.Key{Obj: ix.Table.ID, Row: nid}, lock.S) {
+		return 0, false
+	}
+	rowID, ok := ix.Probe(sess.Ctx, key, nid, false)
+	if ok && !ix.Clustered {
+		access.Heap{T: ix.Table}.ProbePoint(sess.Ctx, nid, false)
+	}
+	return rowID, ok
+}
+
+// ReadRange scans count nominal entries from nid through the index
+// (shared intent on the table, no per-row locks — read-committed range
+// read at scan isolation).
+func (sess *Session) ReadRange(tx *txn.Txn, ix *access.BTIndex, from btree.Key, nid, count int64) []int64 {
+	sess.stmtOverhead()
+	if !tx.Lock(sess.P, lock.Key{Obj: ix.Table.ID, Row: -1}, lock.IS) {
+		return nil
+	}
+	ix.ChargeLeafRange(sess.Ctx, nid, count)
+	var ids []int64
+	limit := int(count/ix.Table.K) + 1
+	ix.RangeActual(from, nil, func(rowID int64) bool {
+		ids = append(ids, rowID)
+		return len(ids) < limit
+	})
+	return ids
+}
+
+// Update performs a read-modify-write of one row: U lock converted to X
+// (the conversion-safe discipline), probe for write, mutate via fn, log.
+func (sess *Session) Update(tx *txn.Txn, ix *access.BTIndex, key btree.Key, nid int64, fn func(rowID int64)) bool {
+	sess.stmtOverhead()
+	if !tx.Lock(sess.P, lock.Key{Obj: ix.Table.ID, Row: nid}, lock.U) {
+		return false
+	}
+	rowID, ok := ix.Probe(sess.Ctx, key, nid, false)
+	if !ok {
+		return false
+	}
+	if !tx.Lock(sess.P, lock.Key{Obj: ix.Table.ID, Row: nid}, lock.X) {
+		return false
+	}
+	access.Heap{T: ix.Table}.ProbePoint(sess.Ctx, nid, true)
+	if fn != nil {
+		fn(rowID)
+	}
+	logRecord(tx, ix.Table)
+	return true
+}
+
+// Insert appends one nominal row: IX table lock, X lock on the new row,
+// heap append (hot last page), maintenance on each index, optional
+// columnstore delta insert, log. It returns the nominal row ID.
+func (sess *Session) Insert(tx *txn.Txn, t *storage.Table, row []int64, indexes []*access.BTIndex, csi *access.CSI) int64 {
+	sess.stmtOverhead()
+	if !tx.Lock(sess.P, lock.Key{Obj: t.ID, Row: -1}, lock.IX) {
+		return -1
+	}
+	heap := access.Heap{T: t}
+	heap.ChargeInsert(sess.Ctx)
+	crossesPage := (t.NominalRows()+1)%t.RowsPerPage() == 0
+	if crossesPage {
+		// Page allocation touches the allocation map under a latch.
+		sess.S.tableAllocLatch(t.ID).Do(sess.P, 800)
+	}
+	before := t.ActualRows()
+	nid := t.InsertNominal(row)
+	if !tx.Lock(sess.P, lock.Key{Obj: t.ID, Row: nid}, lock.X) {
+		// Victim mid-insert: the nominal append stands (a ghost row),
+		// as after a rolled-back insert awaiting cleanup.
+		t.DeleteNominal()
+		return -1
+	}
+	materialized := t.ActualRows() > before
+	for _, ix := range indexes {
+		ix.ChargeMaintenance(sess.Ctx, nid)
+		if materialized {
+			ix.InsertActual(t.ActualRows() - 1)
+		}
+		logRecord(tx, t)
+	}
+	if csi != nil {
+		csi.ChargeDeltaInsert(sess.Ctx)
+		csi.Ix.AppendDelta(row)
+		csi.Ix.CompressDelta()
+	}
+	logRecord(tx, t)
+	return nid
+}
+
+// Delete removes a nominal row through an index: X lock, probe, ghost the
+// row, log. (Space reclaim is deferred, as with real ghost records.)
+func (sess *Session) Delete(tx *txn.Txn, ix *access.BTIndex, key btree.Key, nid int64) bool {
+	sess.stmtOverhead()
+	if !tx.Lock(sess.P, lock.Key{Obj: ix.Table.ID, Row: nid}, lock.U) {
+		return false
+	}
+	_, ok := ix.Probe(sess.Ctx, key, nid, false)
+	if !ok {
+		return false
+	}
+	if !tx.Lock(sess.P, lock.Key{Obj: ix.Table.ID, Row: nid}, lock.X) {
+		return false
+	}
+	access.Heap{T: ix.Table}.ProbePoint(sess.Ctx, nid, true)
+	ix.Table.DeleteNominal()
+	logRecord(tx, ix.Table)
+	return true
+}

@@ -1,0 +1,213 @@
+package exec
+
+import (
+	"math"
+	"sort"
+
+	"repro/internal/access"
+	"repro/internal/sim"
+)
+
+// aggWidth returns the state slots an aggregate needs.
+func aggWidth(k AggKind) int {
+	if k == AggAvg {
+		return 2 // sum, count
+	}
+	return 1
+}
+
+type groupEnt struct {
+	key   Row
+	state []int64
+	seen  bool
+}
+
+// encodeKey builds a map key from group columns.
+func encodeKey(r Row, groups []int) string {
+	b := make([]byte, 0, len(groups)*8)
+	for _, c := range groups {
+		v := uint64(r[c])
+		b = append(b, byte(v), byte(v>>8), byte(v>>16), byte(v>>24),
+			byte(v>>32), byte(v>>40), byte(v>>48), byte(v>>56))
+	}
+	return string(b)
+}
+
+func newAggState(aggs []AggSpec) []int64 {
+	w := 0
+	for _, a := range aggs {
+		w += aggWidth(a.Kind)
+	}
+	st := make([]int64, w)
+	i := 0
+	for _, a := range aggs {
+		switch a.Kind {
+		case AggMin:
+			st[i] = math.MaxInt64
+		case AggMax:
+			st[i] = math.MinInt64
+		}
+		i += aggWidth(a.Kind)
+	}
+	return st
+}
+
+func accumulate(st []int64, aggs []AggSpec, r Row, weight int64) {
+	i := 0
+	for _, a := range aggs {
+		switch a.Kind {
+		case AggSum:
+			st[i] += r[a.Col] * weight
+		case AggCount:
+			st[i] += weight
+		case AggMin:
+			if r[a.Col] < st[i] {
+				st[i] = r[a.Col]
+			}
+		case AggMax:
+			if r[a.Col] > st[i] {
+				st[i] = r[a.Col]
+			}
+		case AggAvg:
+			st[i] += r[a.Col] * weight
+			st[i+1] += weight
+		}
+		i += aggWidth(a.Kind)
+	}
+}
+
+func mergeState(dst, src []int64, aggs []AggSpec) {
+	i := 0
+	for _, a := range aggs {
+		switch a.Kind {
+		case AggSum, AggCount:
+			dst[i] += src[i]
+		case AggMin:
+			if src[i] < dst[i] {
+				dst[i] = src[i]
+			}
+		case AggMax:
+			if src[i] > dst[i] {
+				dst[i] = src[i]
+			}
+		case AggAvg:
+			dst[i] += src[i]
+			dst[i+1] += src[i+1]
+		}
+		i += aggWidth(a.Kind)
+	}
+}
+
+func finalize(key Row, st []int64, aggs []AggSpec) Row {
+	out := make(Row, 0, len(key)+len(aggs))
+	out = append(out, key...)
+	i := 0
+	for _, a := range aggs {
+		switch a.Kind {
+		case AggAvg:
+			if st[i+1] > 0 {
+				out = append(out, st[i]/st[i+1])
+			} else {
+				out = append(out, 0)
+			}
+		default:
+			v := st[i]
+			if a.Kind == AggMin && v == math.MaxInt64 {
+				v = 0
+			}
+			if a.Kind == AggMax && v == math.MinInt64 {
+				v = 0
+			}
+			out = append(out, v)
+		}
+		i += aggWidth(a.Kind)
+	}
+	return out
+}
+
+// runHashAgg aggregates the child's output. Parallel stages compute
+// partition-local partial aggregates; the coordinator merges and emits
+// groups in deterministic (sorted) group order. Aggregate inputs are
+// weighted by the child's nominal weight so SUM/COUNT reflect nominal
+// cardinalities.
+func runHashAgg(p *sim.Proc, env *Env, n *Node, st *QueryStats) []Row {
+	in := runNode(p, env, n.Left, st)
+	parts := stageDop(env, n)
+	weight := n.Left.Weight
+	if weight < 1 {
+		weight = 1
+	}
+
+	inParts := partitionRows(in, n.Groups, parts)
+	partials := make([]map[string]*groupEnt, parts)
+	env.parallel(p, parts, func(ctx *access.Ctx, part int) {
+		m := make(map[string]*groupEnt)
+		rows := inParts[part]
+		for _, r := range rows {
+			k := encodeKey(r, n.Groups)
+			g := m[k]
+			if g == nil {
+				g = &groupEnt{key: project(r, n.Groups), state: newAggState(n.Aggs)}
+				m[k] = g
+			}
+			accumulate(g.state, n.Aggs, r, weight)
+		}
+		w := int64(len(rows)) * weight
+		ctx.CPU(float64(w) * ctx.Cost.AggIPR)
+		// The group table's nominal footprint: groups are dimension-level
+		// entities, so their nominal count scales with the group count,
+		// not the input weight.
+		groupBytes := int64(len(m)) * tupleBytes(env, n.Left)
+		if groupBytes > 0 {
+			region := env.M.ReserveRegion(groupBytes)
+			ctx.TouchRandom(region, groupBytes, w, true, 4)
+		}
+		partials[part] = m
+	})
+
+	// Grant accounting on the merged table.
+	var totalGroups int64
+	for _, m := range partials {
+		totalGroups += int64(len(m))
+	}
+	needBytes := totalGroups * tupleBytes(env, n.Left)
+	overflow := env.Grant.Reserve(needBytes)
+	defer env.Grant.Release(needBytes - overflow)
+	if overflow > 0 {
+		spill(p, env, n, st, overflow, 0)
+	}
+
+	ctx := env.newCtx(p, env.home())
+	merged := make(map[string]*groupEnt)
+	for _, m := range partials {
+		for k, g := range m {
+			d := merged[k]
+			if d == nil {
+				merged[k] = g
+			} else {
+				mergeState(d.state, g.state, n.Aggs)
+			}
+		}
+	}
+	ctx.CPU(float64(totalGroups) * ctx.Cost.AggIPR)
+	ctx.Flush()
+
+	if len(n.Groups) == 0 && len(merged) == 0 {
+		// Scalar aggregate over empty input: one zero row.
+		return []Row{finalize(nil, newAggState(n.Aggs), n.Aggs)}
+	}
+	out := make([]Row, 0, len(merged))
+	for _, g := range merged {
+		out = append(out, finalize(g.key, g.state, n.Aggs))
+	}
+	ng := len(n.Groups)
+	sort.Slice(out, func(i, j int) bool {
+		for c := 0; c < ng; c++ {
+			if out[i][c] != out[j][c] {
+				return out[i][c] < out[j][c]
+			}
+		}
+		return false
+	})
+	return out
+}

@@ -1,0 +1,260 @@
+package exec
+
+import (
+	"repro/internal/access"
+	"repro/internal/sim"
+)
+
+// hashRow hashes the key columns of a row.
+func hashRow(r Row, keys []int) uint64 {
+	h := uint64(0xcbf29ce484222325)
+	for _, c := range keys {
+		h ^= uint64(r[c])
+		h *= 0x100000001b3
+		h ^= h >> 29
+	}
+	return h
+}
+
+func keysEqual(a Row, ak []int, b Row, bk []int) bool {
+	for i := range ak {
+		if a[ak[i]] != b[bk[i]] {
+			return false
+		}
+	}
+	return true
+}
+
+// joinTable is one partition's hash table: hash -> indices of build rows.
+type joinTable struct {
+	buckets map[uint64][]int32
+	rows    []Row
+}
+
+func newJoinTable() *joinTable {
+	return &joinTable{buckets: make(map[uint64][]int32)}
+}
+
+func (jt *joinTable) insert(r Row, keys []int) {
+	h := hashRow(r, keys)
+	jt.buckets[h] = append(jt.buckets[h], int32(len(jt.rows)))
+	jt.rows = append(jt.rows, r)
+}
+
+// runHashJoin materializes both children, builds partitioned hash tables
+// over the build (left) side, and probes with the right side. Exceeding
+// the memory grant spills partitions to tempdb (charged as write+read of
+// the spilled nominal bytes).
+func runHashJoin(p *sim.Proc, env *Env, n *Node, st *QueryStats) []Row {
+	build := runNode(p, env, n.Left, st)
+	probe := runNode(p, env, n.Right, st)
+
+	rowBytes := tupleBytes(env, n.Left)
+	needBytes := int64(len(build)) * n.Left.Weight * rowBytes
+	overflow := env.Grant.Reserve(needBytes)
+	defer env.Grant.Release(needBytes - overflow)
+	if overflow > 0 {
+		spill(p, env, n, st, overflow, probeSpillShare(overflow, needBytes, int64(len(probe))*n.Right.Weight*tupleBytes(env, n.Right)))
+	}
+
+	region := env.M.ReserveRegion(needBytes + 1)
+	parts := stageDop(env, n)
+	tables := make([]*joinTable, parts)
+	buildParts := partitionRows(build, n.BuildKeys, parts)
+	env.parallel(p, parts, func(ctx *access.Ctx, part int) {
+		jt := newJoinTable()
+		rows := buildParts[part]
+		for _, r := range rows {
+			jt.insert(r, n.BuildKeys)
+		}
+		w := int64(len(rows)) * n.Left.Weight
+		ctx.CPU(float64(w) * ctx.Cost.HashBuildIPR)
+		share := needBytes / int64(parts)
+		if share < 1 {
+			share = 1
+		}
+		ctx.TouchRandom(region+uint64(part)*uint64(share), share, w, true, 4)
+		tables[part] = jt
+	})
+
+	probeParts := partitionRows(probe, n.ProbeKeys, parts)
+	results := make([][]Row, parts)
+	env.parallel(p, parts, func(ctx *access.Ctx, part int) {
+		jt := tables[part]
+		rows := probeParts[part]
+		w := int64(len(rows)) * n.Right.Weight
+		ctx.CPU(float64(w) * ctx.Cost.HashProbeIPR)
+		share := needBytes / int64(parts)
+		if share < 1 {
+			share = 1
+		}
+		ctx.TouchRandom(region+uint64(part)*uint64(share), share, w, false, 4)
+		var out []Row
+		for _, pr := range rows {
+			h := hashRow(pr, n.ProbeKeys)
+			matched := false
+			for _, bi := range jt.buckets[h] {
+				br := jt.rows[bi]
+				if !keysEqual(br, n.BuildKeys, pr, n.ProbeKeys) {
+					continue
+				}
+				matched = true
+				if n.JoinType == InnerJoin {
+					out = append(out, concatRows(pr, br))
+				} else {
+					break
+				}
+			}
+			switch n.JoinType {
+			case SemiJoin:
+				if matched {
+					out = append(out, pr)
+				}
+			case AntiJoin:
+				if !matched {
+					out = append(out, pr)
+				}
+			}
+		}
+		results[part] = out
+	})
+	return flatten(results)
+}
+
+// concatRows emits probe ++ build (the executor's join output layout).
+func concatRows(probe, build Row) Row {
+	out := make(Row, 0, len(probe)+len(build))
+	out = append(out, probe...)
+	out = append(out, build...)
+	return out
+}
+
+// partitionRows splits rows by key hash for partitioned parallel stages;
+// with one partition it passes rows through.
+func partitionRows(rows []Row, keys []int, parts int) [][]Row {
+	if parts <= 1 {
+		return [][]Row{rows}
+	}
+	out := make([][]Row, parts)
+	for _, r := range rows {
+		p := int(hashRow(r, keys) % uint64(parts))
+		out[p] = append(out[p], r)
+	}
+	return out
+}
+
+func tupleBytes(env *Env, n *Node) int64 {
+	b := n.RowBytes
+	if b <= 0 {
+		b = env.Cost.TupleBytes
+	}
+	return b + env.Cost.TupleBytes
+}
+
+// probeSpillShare estimates how many probe-side bytes respill alongside
+// the overflowing build partitions.
+func probeSpillShare(overflow, needBytes, probeBytes int64) int64 {
+	if needBytes <= 0 {
+		return 0
+	}
+	return int64(float64(probeBytes) * float64(overflow) / float64(needBytes))
+}
+
+// spill charges a tempdb round trip for overflowBytes of build data plus
+// the proportional probe share: written once, read once, with extra
+// per-byte CPU.
+func spill(p *sim.Proc, env *Env, n *Node, st *QueryStats, buildBytes, probeBytes int64) {
+	total := buildBytes + probeBytes
+	st.Spills++
+	st.SpillBytes += total
+	env.Ctr.Spills++
+	ctx := env.newCtx(p, env.home())
+	ctx.Flush()
+	d := env.Dev.Write(p, total)
+	d += env.Dev.Read(p, total)
+	ctx.WaitIO(d)
+	ctx.TouchSeq(env.TempRegion, total, true, 8)
+	ctx.CPU(float64(total) / 64 * 3)
+	ctx.Flush()
+}
+
+// runNLIndexJoin probes the inner index once per outer row; matches fetch
+// the inner base row. Parallel plans partition the outer rows.
+func runNLIndexJoin(p *sim.Proc, env *Env, n *Node, st *QueryStats) []Row {
+	outer := runNode(p, env, n.Left, st)
+	ix := n.Index
+	t := ix.Table
+	heap := access.Heap{T: t}
+	parts := stageDop(env, n)
+	chunks := chunkRows(outer, parts)
+	results := make([][]Row, parts)
+	env.parallel(p, parts, func(ctx *access.Ctx, part int) {
+		var out []Row
+		for _, or := range chunks[part] {
+			key := n.probeKeyOf(or)
+			matches := ix.LookupAll(key)
+			// Position the probe at the first match's nominal location
+			// (or a key-derived location on a miss).
+			var nid int64
+			if len(matches) > 0 {
+				nid = matches[0] * t.K
+			} else {
+				nid = int64(hashRow(or, n.OuterKeys) % uint64(maxI64(t.NominalRows(), 1)))
+			}
+			ix.Probe(ctx, key, nid, false)
+			matched := len(matches) > 0
+			switch n.JoinType {
+			case SemiJoin:
+				if matched {
+					out = append(out, or)
+				}
+				continue
+			case AntiJoin:
+				if !matched {
+					out = append(out, or)
+				}
+				continue
+			}
+			for _, m := range matches {
+				if len(n.InnerProj) > 0 && !ix.Clustered {
+					// Non-covering: fetch the base row.
+					heap.ProbePoint(ctx, m*t.K, false)
+				}
+				inner := make(Row, len(n.InnerProj))
+				for i, c := range n.InnerProj {
+					inner[i] = t.Get(m, c)
+				}
+				out = append(out, concatRows(or, inner))
+			}
+		}
+		results[part] = out
+	})
+	return flatten(results)
+}
+
+func chunkRows(rows []Row, parts int) [][]Row {
+	if parts <= 1 {
+		return [][]Row{rows}
+	}
+	out := make([][]Row, parts)
+	chunk := (len(rows) + parts - 1) / parts
+	for i := 0; i < parts; i++ {
+		lo := i * chunk
+		hi := lo + chunk
+		if lo > len(rows) {
+			lo = len(rows)
+		}
+		if hi > len(rows) {
+			hi = len(rows)
+		}
+		out[i] = rows[lo:hi]
+	}
+	return out
+}
+
+func maxI64(a, b int64) int64 {
+	if a > b {
+		return a
+	}
+	return b
+}

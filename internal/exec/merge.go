@@ -1,0 +1,186 @@
+package exec
+
+import (
+	"math"
+	"sort"
+
+	"repro/internal/access"
+	"repro/internal/sim"
+)
+
+// runMergeJoin sorts both inputs by their join keys and merges. Its
+// memory behaviour differs from hash join the way the paper's Section 8
+// cares about: the sorts spill independently and the merge itself needs
+// no workspace, so the optimizer prefers it when the build side far
+// exceeds the grant.
+func runMergeJoin(p *sim.Proc, env *Env, n *Node, st *QueryStats) []Row {
+	left := runNode(p, env, n.Left, st)
+	right := runNode(p, env, n.Right, st)
+
+	sortSide := func(rows []Row, keys []int, weight int64, rowBytes int64) {
+		needBytes := int64(len(rows)) * weight * rowBytes
+		overflow := env.Grant.Reserve(needBytes)
+		if overflow > 0 {
+			spill(p, env, n, st, overflow, 0)
+		}
+		defer env.Grant.Release(needBytes - overflow)
+		parts := stageDop(env, n)
+		chunks := chunkRows(rows, parts)
+		env.parallel(p, parts, func(ctx *access.Ctx, part int) {
+			c := chunks[part]
+			if len(c) == 0 {
+				return
+			}
+			sort.SliceStable(c, func(i, j int) bool { return lessByCols(c[i], c[j], keys) })
+			w := float64(int64(len(c)) * weight)
+			ctx.CPU(w * ctx.Cost.SortIPR * math.Log2(w+2))
+			region := env.M.ReserveRegion(needBytes/int64(parts) + 1)
+			ctx.TouchSeq(region, needBytes/int64(parts), true, 8)
+		})
+		// Final merge of the sorted chunks (coordinator).
+		merged := mergeSortedBy(chunks, keys)
+		copy(rows, merged)
+	}
+	sortSide(left, n.BuildKeys, n.Left.Weight, tupleBytes(env, n.Left))
+	sortSide(right, n.ProbeKeys, n.Right.Weight, tupleBytes(env, n.Right))
+
+	ctx := env.newCtx(p, env.home())
+	w := int64(len(left))*maxI64(n.Left.Weight, 1) + int64(len(right))*maxI64(n.Right.Weight, 1)
+	ctx.CPU(float64(w) * ctx.Cost.AggIPR * 0.5) // linear merge pass
+	ctx.Flush()
+
+	// Merge: left is the preserved side (output = left ++ right for
+	// inner; left only for semi/anti).
+	var out []Row
+	j := 0
+	for i := 0; i < len(left); i++ {
+		l := left[i]
+		for j < len(right) && colsLess(right[j], n.ProbeKeys, l, n.BuildKeys) {
+			j++
+		}
+		matched := false
+		for k := j; k < len(right) && colsEqual(right[k], n.ProbeKeys, l, n.BuildKeys); k++ {
+			matched = true
+			if n.JoinType == InnerJoin {
+				out = append(out, concatRows(l, right[k]))
+			} else {
+				break
+			}
+		}
+		switch n.JoinType {
+		case SemiJoin:
+			if matched {
+				out = append(out, l)
+			}
+		case AntiJoin:
+			if !matched {
+				out = append(out, l)
+			}
+		}
+	}
+	return out
+}
+
+func lessByCols(a, b Row, cols []int) bool {
+	for _, c := range cols {
+		if a[c] != b[c] {
+			return a[c] < b[c]
+		}
+	}
+	return false
+}
+
+func colsLess(a Row, ak []int, b Row, bk []int) bool {
+	for i := range ak {
+		if a[ak[i]] != b[bk[i]] {
+			return a[ak[i]] < b[bk[i]]
+		}
+	}
+	return false
+}
+
+func colsEqual(a Row, ak []int, b Row, bk []int) bool {
+	for i := range ak {
+		if a[ak[i]] != b[bk[i]] {
+			return false
+		}
+	}
+	return true
+}
+
+// mergeSortedBy merges sorted chunks by arbitrary columns.
+func mergeSortedBy(chunks [][]Row, cols []int) []Row {
+	idx := make([]int, len(chunks))
+	total := 0
+	for _, c := range chunks {
+		total += len(c)
+	}
+	out := make([]Row, 0, total)
+	for len(out) < total {
+		best := -1
+		for i, c := range chunks {
+			if idx[i] >= len(c) {
+				continue
+			}
+			if best < 0 || lessByCols(c[idx[i]], chunks[best][idx[best]], cols) {
+				best = i
+			}
+		}
+		out = append(out, chunks[best][idx[best]])
+		idx[best]++
+	}
+	return out
+}
+
+// runStreamAgg aggregates input that it first sorts by the group columns,
+// then folds sequentially — constant workspace beyond the sort, the
+// operator SQL Server picks when a hash table would not fit the grant.
+func runStreamAgg(p *sim.Proc, env *Env, n *Node, st *QueryStats) []Row {
+	in := runNode(p, env, n.Left, st)
+	weight := n.Left.Weight
+	if weight < 1 {
+		weight = 1
+	}
+	needBytes := int64(len(in)) * weight * tupleBytes(env, n.Left)
+	overflow := env.Grant.Reserve(needBytes)
+	if overflow > 0 {
+		spill(p, env, n, st, overflow, 0)
+	}
+	defer env.Grant.Release(needBytes - overflow)
+
+	ctx := env.newCtx(p, env.home())
+	sort.SliceStable(in, func(i, j int) bool { return lessByCols(in[i], in[j], n.Groups) })
+	w := float64(int64(len(in)) * weight)
+	ctx.CPU(w * (ctx.Cost.SortIPR*math.Log2(w+2) + ctx.Cost.AggIPR*0.6))
+	ctx.Flush()
+
+	var out []Row
+	var curKey Row
+	var state []int64
+	flush := func() {
+		if curKey != nil {
+			out = append(out, finalize(curKey, state, n.Aggs))
+		}
+	}
+	for _, r := range in {
+		if curKey == nil || !colsEqual(r, n.Groups, curKey, seqInts(len(n.Groups))) {
+			flush()
+			curKey = project(r, n.Groups)
+			state = newAggState(n.Aggs)
+		}
+		accumulate(state, n.Aggs, r, weight)
+	}
+	flush()
+	if len(n.Groups) == 0 && len(out) == 0 {
+		return []Row{finalize(nil, newAggState(n.Aggs), n.Aggs)}
+	}
+	return out
+}
+
+func seqInts(n int) []int {
+	out := make([]int, n)
+	for i := range out {
+		out[i] = i
+	}
+	return out
+}

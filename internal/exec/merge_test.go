@@ -1,0 +1,120 @@
+package exec
+
+import (
+	"reflect"
+	"testing"
+)
+
+func TestMergeJoinMatchesHashJoin(t *testing.T) {
+	for _, jt := range []JoinType{InnerJoin, SemiJoin, AntiJoin} {
+		run := func(kind NodeKind) []Row {
+			te := newTestEnv(4)
+			orders := te.ordersTable()
+			cust := te.custTable()
+			var n *Node
+			if kind == KMergeJoin {
+				// Merge join preserves Left: orders ++ customer.
+				n = &Node{
+					Kind:      KMergeJoin,
+					Left:      scanNode(orders, []int{0, 1, 2}, nil, 0, false),
+					Right:     scanNode(cust, []int{0, 1}, nil, 0, false),
+					BuildKeys: []int{1}, ProbeKeys: []int{0},
+					JoinType: jt, Weight: orders.K, Parallel: true,
+				}
+			} else {
+				// Hash join emits probe ++ build with build = customer.
+				n = &Node{
+					Kind:      KHashJoin,
+					Left:      scanNode(cust, []int{0, 1}, nil, 0, false),
+					Right:     scanNode(orders, []int{0, 1, 2}, nil, 0, false),
+					BuildKeys: []int{0}, ProbeKeys: []int{1},
+					JoinType: jt, Weight: orders.K,
+				}
+			}
+			rows, _ := te.run(n)
+			if jt != InnerJoin && kind == KHashJoin {
+				// Hash semi/anti emits probe rows = orders; same layout.
+				return rows
+			}
+			return rows
+		}
+		mj := run(KMergeJoin)
+		hj := run(KHashJoin)
+		sortRows(mj)
+		sortRows(hj)
+		if len(mj) != len(hj) {
+			t.Fatalf("join type %v: merge join %d rows != hash join %d rows", jt, len(mj), len(hj))
+		}
+		if len(mj) > 0 && !reflect.DeepEqual(mj, hj) {
+			t.Fatalf("join type %v: results differ", jt)
+		}
+	}
+}
+
+func TestMergeJoinSpillsUnderTinyGrant(t *testing.T) {
+	te := newTestEnv(2)
+	orders := te.ordersTable()
+	cust := te.custTable()
+	te.env.Grant = &Grant{Bytes: 64}
+	n := &Node{
+		Kind:      KMergeJoin,
+		Left:      scanNode(orders, []int{0, 1}, nil, 0, false),
+		Right:     scanNode(cust, []int{0, 1}, nil, 0, false),
+		BuildKeys: []int{1}, ProbeKeys: []int{0},
+		JoinType: InnerJoin, Weight: orders.K,
+	}
+	rows, st := te.run(n)
+	if len(rows) != 200 {
+		t.Fatalf("rows = %d", len(rows))
+	}
+	if st.Spills == 0 {
+		t.Fatal("expected sort spills under tiny grant")
+	}
+}
+
+func TestStreamAggMatchesHashAgg(t *testing.T) {
+	run := func(kind NodeKind) []Row {
+		te := newTestEnv(2)
+		orders := te.ordersTable()
+		n := &Node{
+			Kind:   kind,
+			Left:   scanNode(orders, []int{1, 2}, nil, 0, false),
+			Groups: []int{0},
+			Aggs: []AggSpec{
+				{Kind: AggSum, Col: 1}, {Kind: AggCount},
+				{Kind: AggMin, Col: 1}, {Kind: AggMax, Col: 1}, {Kind: AggAvg, Col: 1},
+			},
+			Weight: orders.K,
+		}
+		rows, _ := te.run(n)
+		return rows
+	}
+	sa := run(KStreamAgg)
+	ha := run(KHashAgg)
+	if !reflect.DeepEqual(sa, ha) {
+		t.Fatalf("stream agg != hash agg:\n%v\n%v", sa[:minInt2(3, len(sa))], ha[:minInt2(3, len(ha))])
+	}
+}
+
+func TestStreamAggScalarEmptyInput(t *testing.T) {
+	te := newTestEnv(1)
+	orders := te.ordersTable()
+	n := &Node{
+		Kind:   KStreamAgg,
+		Left:   scanNode(orders, []int{2}, func(r Row) bool { return false }, 1, false),
+		Groups: nil,
+		Aggs:   []AggSpec{{Kind: AggSum, Col: 0}, {Kind: AggCount}},
+		Weight: orders.K,
+	}
+	rows, _ := te.run(n)
+	if len(rows) != 1 || rows[0][0] != 0 || rows[0][1] != 0 {
+		t.Fatalf("scalar stream agg on empty = %v", rows)
+	}
+}
+
+func minInt2(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}

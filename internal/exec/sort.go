@@ -1,0 +1,114 @@
+package exec
+
+import (
+	"math"
+	"sort"
+
+	"repro/internal/access"
+	"repro/internal/sim"
+)
+
+func lessByKeys(a, b Row, keys []SortKey) bool {
+	for _, k := range keys {
+		av, bv := a[k.Col], b[k.Col]
+		if av == bv {
+			continue
+		}
+		if k.Desc {
+			return av > bv
+		}
+		return av < bv
+	}
+	return false
+}
+
+// runSort sorts the child's output. Parallel stages sort chunks; the
+// coordinator merges. Input larger than the grant spills sort runs to
+// tempdb.
+func runSort(p *sim.Proc, env *Env, n *Node, st *QueryStats) []Row {
+	in := runNode(p, env, n.Left, st)
+	weight := n.Left.Weight
+	if weight < 1 {
+		weight = 1
+	}
+	needBytes := int64(len(in)) * weight * tupleBytes(env, n.Left)
+	overflow := env.Grant.Reserve(needBytes)
+	defer env.Grant.Release(needBytes - overflow)
+	if overflow > 0 {
+		// External sort: spilled runs are written and re-read once.
+		spill(p, env, n, st, overflow, 0)
+	}
+
+	parts := stageDop(env, n)
+	chunks := chunkRows(in, parts)
+	env.parallel(p, parts, func(ctx *access.Ctx, part int) {
+		rows := chunks[part]
+		if len(rows) == 0 {
+			return
+		}
+		sort.SliceStable(rows, func(i, j int) bool { return lessByKeys(rows[i], rows[j], n.Keys) })
+		w := float64(int64(len(rows)) * weight)
+		ctx.CPU(w * ctx.Cost.SortIPR * math.Log2(w+2))
+		region := env.M.ReserveRegion(needBytes/int64(parts) + 1)
+		ctx.TouchSeq(region, needBytes/int64(parts), true, 8)
+	})
+
+	// Coordinator merge of sorted chunks.
+	ctx := env.newCtx(p, env.home())
+	out := mergeSorted(chunks, n.Keys)
+	if parts > 1 {
+		ctx.CPU(float64(int64(len(out))*weight) * ctx.Cost.SortIPR)
+	}
+	ctx.Flush()
+	return out
+}
+
+func mergeSorted(chunks [][]Row, keys []SortKey) []Row {
+	// Simple k-way merge by repeated selection (k is small = DOP).
+	idx := make([]int, len(chunks))
+	total := 0
+	for _, c := range chunks {
+		total += len(c)
+	}
+	out := make([]Row, 0, total)
+	for len(out) < total {
+		best := -1
+		for i, c := range chunks {
+			if idx[i] >= len(c) {
+				continue
+			}
+			if best < 0 || lessByKeys(c[idx[i]], chunks[best][idx[best]], keys) {
+				best = i
+			}
+		}
+		out = append(out, chunks[best][idx[best]])
+		idx[best]++
+	}
+	return out
+}
+
+// runTop returns the first Limit rows by sort key, using selection
+// against a bounded heap (cheaper than a full sort).
+func runTop(p *sim.Proc, env *Env, n *Node, st *QueryStats) []Row {
+	in := runNode(p, env, n.Left, st)
+	weight := n.Left.Weight
+	if weight < 1 {
+		weight = 1
+	}
+	ctx := env.newCtx(p, env.home())
+	limit := n.Limit
+	if limit <= 0 || limit > len(in) {
+		if len(n.Keys) > 0 {
+			sort.SliceStable(in, func(i, j int) bool { return lessByKeys(in[i], in[j], n.Keys) })
+		}
+		if limit <= 0 || limit > len(in) {
+			limit = len(in)
+		}
+	} else {
+		sort.SliceStable(in, func(i, j int) bool { return lessByKeys(in[i], in[j], n.Keys) })
+	}
+	w := float64(int64(len(in)) * weight)
+	ctx.CPU(w * ctx.Cost.SortIPR * math.Log2(float64(limit)+2))
+	ctx.Flush()
+	return in[:limit]
+}

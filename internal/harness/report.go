@@ -1,0 +1,124 @@
+package harness
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+
+	"repro/internal/core"
+)
+
+// CurveFamily is a set of curves keyed by scale factor — the shape of
+// every Figure 2 panel.
+type CurveFamily map[int]core.Curve
+
+// sortedSFs returns the family's scale factors in ascending order.
+func sortedSFs(m CurveFamily) []int {
+	out := make([]int, 0, len(m))
+	for sf := range m {
+		out = append(out, sf)
+	}
+	sort.Ints(out)
+	return out
+}
+
+// xValues returns the union of X coordinates across the family, sorted.
+func xValues(m CurveFamily) []float64 {
+	seen := map[float64]bool{}
+	var xs []float64
+	for _, c := range m {
+		for _, p := range c.Points {
+			if !seen[p.X] {
+				seen[p.X] = true
+				xs = append(xs, p.X)
+			}
+		}
+	}
+	sort.Float64s(xs)
+	return xs
+}
+
+// RenderFamily renders a curve family as an aligned text table with the
+// knob values as columns (the dbsense output format).
+func RenderFamily(title string, fam CurveFamily, knob string) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "-- %s --\n", title)
+	xs := xValues(fam)
+	headers := []string{"SF \\ " + knob}
+	for _, x := range xs {
+		headers = append(headers, core.F(x))
+	}
+	t := core.Table{Headers: headers}
+	for _, sf := range sortedSFs(fam) {
+		row := []string{fmt.Sprint(sf)}
+		c := fam[sf]
+		for _, x := range xs {
+			if y, ok := c.At(x); ok {
+				row = append(row, core.F(y))
+			} else {
+				row = append(row, "-")
+			}
+		}
+		t.AddRow(row...)
+	}
+	b.WriteString(t.Render())
+	return b.String()
+}
+
+// WriteFamilyCSV writes the family as CSV (sf, x, y) rows for plotting.
+func WriteFamilyCSV(w io.Writer, fam CurveFamily) error {
+	if _, err := fmt.Fprintln(w, "sf,x,y"); err != nil {
+		return err
+	}
+	for _, sf := range sortedSFs(fam) {
+		for _, p := range fam[sf].Points {
+			if _, err := fmt.Fprintf(w, "%d,%g,%g\n", sf, p.X, p.Y); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+// WriteCDFCSV writes a distribution's CDF as (value, fraction) CSV.
+func WriteCDFCSV(w io.Writer, name string, res Fig4Result) error {
+	if _, err := fmt.Fprintln(w, "metric,mbps,fraction"); err != nil {
+		return err
+	}
+	for label, d := range map[string]interface{ CDF() [][2]float64 }{
+		"ssd_read":  res.SSDRead,
+		"ssd_write": res.SSDWrite,
+		"dram":      res.DRAM,
+	} {
+		for _, pt := range d.CDF() {
+			if _, err := fmt.Fprintf(w, "%s,%g,%g\n", label, pt[0], pt[1]); err != nil {
+				return err
+			}
+		}
+	}
+	_ = name
+	return nil
+}
+
+// SpeedupMatrix renders a Fig6/Fig8-style per-query table.
+type SpeedupMatrix struct {
+	Title    string
+	Cols     []string
+	Queries  int
+	SpeedupF func(query, col int) float64
+}
+
+// Render writes the matrix as an aligned table.
+func (m SpeedupMatrix) Render() string {
+	headers := append([]string{"query"}, m.Cols...)
+	t := core.Table{Headers: headers}
+	for q := 1; q <= m.Queries; q++ {
+		row := []string{fmt.Sprintf("Q%d", q)}
+		for c := range m.Cols {
+			row = append(row, core.F(m.SpeedupF(q, c)))
+		}
+		t.AddRow(row...)
+	}
+	return fmt.Sprintf("-- %s --\n%s", m.Title, t.Render())
+}

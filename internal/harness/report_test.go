@@ -1,0 +1,91 @@
+package harness
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/metrics"
+)
+
+func demoFamily() CurveFamily {
+	a := core.Curve{Name: "a"}
+	a.Add(2, 10)
+	a.Add(8, 30)
+	b := core.Curve{Name: "b"}
+	b.Add(2, 5)
+	b.Add(8, 12)
+	return CurveFamily{10: a, 300: b}
+}
+
+func TestRenderFamily(t *testing.T) {
+	out := RenderFamily("demo", demoFamily(), "cores")
+	if !strings.Contains(out, "-- demo --") {
+		t.Fatalf("missing title:\n%s", out)
+	}
+	lines := strings.Split(strings.TrimSpace(out), "\n")
+	if len(lines) != 5 { // title, header, rule, 2 rows
+		t.Fatalf("lines = %d:\n%s", len(lines), out)
+	}
+	if !strings.HasPrefix(lines[3], "10") || !strings.HasPrefix(lines[4], "300") {
+		t.Fatalf("rows not sorted by SF:\n%s", out)
+	}
+}
+
+func TestRenderFamilyMissingPoints(t *testing.T) {
+	fam := demoFamily()
+	c := core.Curve{Name: "c"}
+	c.Add(4, 7) // x=4 exists only here; 2 and 8 missing for this SF
+	fam[30] = c
+	out := RenderFamily("demo", fam, "cores")
+	if !strings.Contains(out, "-") {
+		t.Fatal("missing points should render as -")
+	}
+}
+
+func TestWriteFamilyCSV(t *testing.T) {
+	var sb strings.Builder
+	if err := WriteFamilyCSV(&sb, demoFamily()); err != nil {
+		t.Fatal(err)
+	}
+	got := sb.String()
+	if !strings.HasPrefix(got, "sf,x,y\n") {
+		t.Fatalf("csv header missing: %q", got)
+	}
+	if !strings.Contains(got, "10,2,10\n") || !strings.Contains(got, "300,8,12\n") {
+		t.Fatalf("csv rows wrong:\n%s", got)
+	}
+}
+
+func TestWriteCDFCSV(t *testing.T) {
+	res := Fig4Result{
+		SSDRead:  metrics.NewDistribution([]float64{1, 2, 3}),
+		SSDWrite: metrics.NewDistribution([]float64{4}),
+		DRAM:     metrics.NewDistribution([]float64{5, 6}),
+	}
+	var sb strings.Builder
+	if err := WriteCDFCSV(&sb, "x", res); err != nil {
+		t.Fatal(err)
+	}
+	got := sb.String()
+	for _, want := range []string{"metric,mbps,fraction", "ssd_read,", "ssd_write,4,1", "dram,"} {
+		if !strings.Contains(got, want) {
+			t.Fatalf("missing %q in:\n%s", want, got)
+		}
+	}
+}
+
+func TestSpeedupMatrixRender(t *testing.T) {
+	m := SpeedupMatrix{
+		Title:   "demo",
+		Cols:    []string{"dop1", "dop8"},
+		Queries: 3,
+		SpeedupF: func(q, c int) float64 {
+			return float64(q) + float64(c)/10
+		},
+	}
+	out := m.Render()
+	if !strings.Contains(out, "Q3") || !strings.Contains(out, "dop8") {
+		t.Fatalf("matrix render wrong:\n%s", out)
+	}
+}

@@ -1,0 +1,165 @@
+// Package iodev models the paper's NVMe SSD (Intel 750 series, 1.2 TB):
+// up to 2500 MB/s sequential read and 1200 MB/s sequential write. Reads
+// and writes are served by independent fluid FIFO channels (NVMe has
+// enough internal parallelism that reads and writes rarely serialize
+// against each other), plus a fixed per-request device latency.
+//
+// A cgroup-style throttle (package cgroup) can be layered in front of the
+// device to reproduce the paper's BlockIOReadBandwidth /
+// BlockIOWriteBandwidth experiments.
+package iodev
+
+import (
+	"repro/internal/metrics"
+	"repro/internal/sim"
+)
+
+// Spec describes a device.
+type Spec struct {
+	Name        string
+	ReadMBps    float64
+	WriteMBps   float64
+	ReadLatNs   float64 // fixed per-request latency, excluded from channel occupancy
+	WriteLatNs  float64
+	MaxRequestB int64 // requests larger than this are split (device MDTS)
+}
+
+// PaperSSD returns the paper's Intel 750 NVMe drive.
+func PaperSSD() Spec {
+	return Spec{
+		Name:        "intel750-nvme",
+		ReadMBps:    2500,
+		WriteMBps:   1200,
+		ReadLatNs:   80_000, // ~80us typical NVMe read latency
+		WriteLatNs:  25_000, // writes land in the device buffer
+		MaxRequestB: 1 << 20,
+	}
+}
+
+// Throttle is a bandwidth limiter placed in front of a device direction.
+// A nil *Throttle or a zero limit means unlimited.
+type Throttle struct {
+	server *sim.FluidServer
+}
+
+// NewThrottle creates a throttle with the given limit (0 = unlimited).
+func NewThrottle(limitMBps float64) *Throttle {
+	return &Throttle{server: sim.NewFluidServer(limitMBps * 1e6)}
+}
+
+// SetLimit changes the limit in MB/s (0 = unlimited).
+func (t *Throttle) SetLimit(limitMBps float64) {
+	t.server.SetRate(limitMBps * 1e6)
+}
+
+// Limit returns the current limit in MB/s (0 = unlimited).
+func (t *Throttle) Limit() float64 { return t.server.Rate() / 1e6 }
+
+// reserve commits throttle capacity without blocking; the caller overlaps
+// the returned delay with the device's own service delay (a request flows
+// through the throttle and the device as a pipeline, so sustained
+// throughput is the minimum of the two rates, not their harmonic sum).
+func (t *Throttle) reserve(now sim.Time, bytes int64) sim.Duration {
+	if t == nil {
+		return 0
+	}
+	return t.server.Reserve(now, float64(bytes))
+}
+
+// Device is a simulated NVMe drive bound to one simulation.
+type Device struct {
+	Spec Spec
+	Ctr  *metrics.Counters
+
+	readCh  *sim.FluidServer
+	writeCh *sim.FluidServer
+
+	readThrottle  *Throttle
+	writeThrottle *Throttle
+}
+
+// New creates a device.
+func New(spec Spec, ctr *metrics.Counters) *Device {
+	return &Device{
+		Spec:    spec,
+		Ctr:     ctr,
+		readCh:  sim.NewFluidServer(spec.ReadMBps * 1e6),
+		writeCh: sim.NewFluidServer(spec.WriteMBps * 1e6),
+	}
+}
+
+// SetThrottles installs cgroup-style read/write limits (nil = none).
+func (d *Device) SetThrottles(read, write *Throttle) {
+	d.readThrottle = read
+	d.writeThrottle = write
+}
+
+// Read blocks p for the duration of a read of the given size and returns
+// the total time spent (throttle + queue + transfer + latency).
+func (d *Device) Read(p *sim.Proc, bytes int64) sim.Duration {
+	if bytes <= 0 {
+		return 0
+	}
+	start := p.Now()
+	tDelay := d.readThrottle.reserve(p.Now(), bytes)
+	var devDone sim.Duration
+	for remaining := bytes; remaining > 0; {
+		chunk := remaining
+		if d.Spec.MaxRequestB > 0 && chunk > d.Spec.MaxRequestB {
+			chunk = d.Spec.MaxRequestB
+		}
+		devDone = d.readCh.Reserve(p.Now(), float64(chunk))
+		remaining -= chunk
+	}
+	delay := devDone
+	if tDelay > delay {
+		delay = tDelay
+	}
+	p.Sleep(delay + sim.Duration(d.Spec.ReadLatNs))
+	d.Ctr.SSDReadBytes += bytes
+	d.Ctr.SSDReadOps++
+	return sim.Duration(p.Now() - start)
+}
+
+// WriteAsync charges a write to the device (and its throttle reservation)
+// without blocking the caller — the model for background page cleaning,
+// where the eviction path hands the page to an I/O completion port. The
+// deferred work still occupies the write channel, delaying later
+// synchronous writes such as log flushes.
+func (d *Device) WriteAsync(now sim.Time, bytes int64) {
+	if bytes <= 0 {
+		return
+	}
+	if d.writeThrottle != nil {
+		d.writeThrottle.server.Reserve(now, float64(bytes))
+	}
+	d.writeCh.Reserve(now, float64(bytes))
+	d.Ctr.SSDWriteBytes += bytes
+	d.Ctr.SSDWriteOps++
+}
+
+// Write blocks p for the duration of a write and returns the time spent.
+func (d *Device) Write(p *sim.Proc, bytes int64) sim.Duration {
+	if bytes <= 0 {
+		return 0
+	}
+	start := p.Now()
+	tDelay := d.writeThrottle.reserve(p.Now(), bytes)
+	var devDone sim.Duration
+	for remaining := bytes; remaining > 0; {
+		chunk := remaining
+		if d.Spec.MaxRequestB > 0 && chunk > d.Spec.MaxRequestB {
+			chunk = d.Spec.MaxRequestB
+		}
+		devDone = d.writeCh.Reserve(p.Now(), float64(chunk))
+		remaining -= chunk
+	}
+	delay := devDone
+	if tDelay > delay {
+		delay = tDelay
+	}
+	p.Sleep(delay + sim.Duration(d.Spec.WriteLatNs))
+	d.Ctr.SSDWriteBytes += bytes
+	d.Ctr.SSDWriteOps++
+	return sim.Duration(p.Now() - start)
+}

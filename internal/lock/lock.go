@@ -1,0 +1,343 @@
+// Package lock implements the engine's hierarchical lock manager (shared,
+// update, exclusive, and intent modes with the SQL Server compatibility
+// matrix) plus named latches for short-duration structure protection.
+//
+// Lock waits accumulate in the LOCK wait class and latch waits in LATCH,
+// the two DMV buckets the paper's Table 3 compares across TPC-E scale
+// factors.
+//
+// Deadlock discipline: the engine's transactions acquire row locks in a
+// global (object, row) order, take U locks before converting to X, and
+// compatible requests barge past the queue, so wait-for cycles cannot
+// form. The residual hazard — converter starvation under a continuous
+// reader stream — is broken by a lock-wait timeout that aborts the victim
+// transaction, the observable equivalent of a deadlock-victim kill.
+package lock
+
+import (
+	"fmt"
+
+	"repro/internal/metrics"
+	"repro/internal/sim"
+)
+
+// Mode is a lock mode.
+type Mode int
+
+// Lock modes.
+const (
+	IS Mode = iota // intent shared
+	IX             // intent exclusive
+	S              // shared
+	U              // update
+	X              // exclusive
+	numModes
+)
+
+// String returns the mode name.
+func (m Mode) String() string {
+	switch m {
+	case IS:
+		return "IS"
+	case IX:
+		return "IX"
+	case S:
+		return "S"
+	case U:
+		return "U"
+	case X:
+		return "X"
+	default:
+		return fmt.Sprintf("Mode(%d)", int(m))
+	}
+}
+
+// compatible[granted][requested] follows SQL Server's matrix: U is
+// compatible with granted S (and vice versa), but U conflicts with U.
+var compatible = [numModes][numModes]bool{
+	IS: {IS: true, IX: true, S: true, U: true, X: false},
+	IX: {IS: true, IX: true, S: false, U: false, X: false},
+	S:  {IS: true, IX: false, S: true, U: true, X: false},
+	U:  {IS: true, IX: false, S: true, U: false, X: false},
+	X:  {IS: false, IX: false, S: false, U: false, X: false},
+}
+
+// covers reports whether holding mode a makes a request for mode b a
+// no-op (a is at least as strong as b).
+func covers(a, b Mode) bool {
+	switch a {
+	case X:
+		return true
+	case U:
+		return b == U || b == S || b == IS || b == IX
+	case S:
+		return b == S || b == IS
+	case IX:
+		return b == IX || b == IS
+	case IS:
+		return b == IS
+	}
+	return false
+}
+
+// Key identifies a lockable resource: an object (table/index) and a row
+// within it; Row < 0 means the object itself.
+type Key struct {
+	Obj int
+	Row int64
+}
+
+type grant struct {
+	owner int64
+	mode  Mode
+	count int
+}
+
+type waiter struct {
+	owner int64
+	mode  Mode
+	since sim.Time
+	ready bool
+	q     *sim.WaitQueue
+}
+
+type entry struct {
+	granted []grant
+	queue   []*waiter
+}
+
+// Manager is a lock manager bound to one simulation.
+type Manager struct {
+	sm  *sim.Sim
+	ctr *metrics.Counters
+
+	entries map[Key]*entry
+
+	// Timeout bounds any single lock wait; on expiry Acquire fails and
+	// the transaction should abort and retry (the deadlock/starvation
+	// victim mechanism — SQL Server picks victims via its detector, we
+	// use a timeout with the same observable effect).
+	Timeout sim.Duration
+
+	// Timeouts counts lock waits that expired.
+	Timeouts int64
+
+	// WaitNsByObj breaks lock wait time down per object (table), the
+	// DMV-style drill-down used to debug contention patterns.
+	WaitNsByObj map[int]int64
+}
+
+// DefaultLockTimeout is the victim timeout for blocked lock requests.
+const DefaultLockTimeout = 50 * sim.Millisecond
+
+// NewManager creates a lock manager.
+func NewManager(sm *sim.Sim, ctr *metrics.Counters) *Manager {
+	return &Manager{
+		sm: sm, ctr: ctr,
+		entries:     make(map[Key]*entry),
+		Timeout:     DefaultLockTimeout,
+		WaitNsByObj: make(map[int]int64),
+	}
+}
+
+// compatibleWithGranted reports whether owner may take mode given the
+// entry's current grants (the owner's own grants never conflict).
+func (e *entry) compatibleWithGranted(owner int64, mode Mode) bool {
+	for _, g := range e.granted {
+		if g.owner == owner {
+			continue
+		}
+		if !compatible[g.mode][mode] {
+			return false
+		}
+	}
+	return true
+}
+
+func (e *entry) findGrant(owner int64) *grant {
+	for i := range e.granted {
+		if e.granted[i].owner == owner {
+			return &e.granted[i]
+		}
+	}
+	return nil
+}
+
+// Acquire takes the lock, blocking p until granted or until the
+// manager's timeout expires. It returns the wait duration and whether
+// the lock was granted; on false the caller must abort its transaction
+// (it is the victim).
+//
+// Admission policy: requests compatible with all current grants are
+// admitted even when the queue is non-empty ("barging"). Blocking new
+// shared readers behind a queued conversion would let reader-converter
+// cycles form; with barging plus the engine's ordered acquisition, wait
+// chains advance monotonically and cycles are impossible. The residual
+// hazard is converter starvation under a continuous reader stream, which
+// the timeout converts into a victim abort.
+func (m *Manager) Acquire(p *sim.Proc, owner int64, key Key, mode Mode) (sim.Duration, bool) {
+	e := m.entries[key]
+	if e == nil {
+		e = &entry{}
+		m.entries[key] = e
+	}
+	if g := e.findGrant(owner); g != nil {
+		if covers(g.mode, mode) {
+			g.count++
+			return 0, true
+		}
+		// Conversion: upgrade in place if compatible with others.
+		if e.compatibleWithGranted(owner, mode) {
+			g.mode = mode
+			g.count++
+			return 0, true
+		}
+		// Conversion must wait; it goes to the head of the queue, as
+		// converters do in SQL Server.
+		w := &waiter{owner: owner, mode: mode, since: p.Now(), q: &sim.WaitQueue{}}
+		e.queue = append([]*waiter{w}, e.queue...)
+		return m.waitFor(p, key, e, w)
+	}
+	if e.compatibleWithGranted(owner, mode) {
+		e.granted = append(e.granted, grant{owner: owner, mode: mode, count: 1})
+		return 0, true
+	}
+	w := &waiter{owner: owner, mode: mode, since: p.Now(), q: &sim.WaitQueue{}}
+	e.queue = append(e.queue, w)
+	return m.waitFor(p, key, e, w)
+}
+
+// waitFor parks until the waiter is granted or the timeout expires.
+func (m *Manager) waitFor(p *sim.Proc, key Key, e *entry, w *waiter) (sim.Duration, bool) {
+	start := p.Now()
+	deadline := start + sim.Time(m.Timeout)
+	for !w.ready {
+		remaining := sim.Duration(deadline - p.Now())
+		if m.Timeout <= 0 {
+			w.q.Wait(p)
+			continue
+		}
+		if remaining <= 0 || w.q.WaitTimeout(p, remaining) {
+			if w.ready {
+				break // granted in the same instant the timeout fired
+			}
+			// Victim: withdraw the request.
+			for i, qw := range e.queue {
+				if qw == w {
+					e.queue = append(e.queue[:i], e.queue[i+1:]...)
+					break
+				}
+			}
+			wait := sim.Duration(p.Now() - start)
+			m.ctr.AddWait(metrics.WaitLock, wait)
+			m.WaitNsByObj[key.Obj] += int64(wait)
+			m.Timeouts++
+			m.promote(key, e)
+			return wait, false
+		}
+	}
+	wait := sim.Duration(p.Now() - start)
+	m.ctr.AddWait(metrics.WaitLock, wait)
+	m.WaitNsByObj[key.Obj] += int64(wait)
+	e.mergeGrant(w.owner, w.mode)
+	return wait, true
+}
+
+// mergeGrant folds a newly granted request into the owner's grant entry
+// (promote may have pre-registered it with count 0).
+func (e *entry) mergeGrant(owner int64, mode Mode) {
+	if g := e.findGrant(owner); g != nil {
+		if !covers(g.mode, mode) {
+			g.mode = mode
+		}
+		g.count++
+		return
+	}
+	e.granted = append(e.granted, grant{owner: owner, mode: mode, count: 1})
+}
+
+// Release drops one reference to the owner's grant on key, removing the
+// grant when the count reaches zero and promoting eligible waiters.
+func (m *Manager) Release(owner int64, key Key) {
+	e := m.entries[key]
+	if e == nil {
+		return
+	}
+	for i := range e.granted {
+		if e.granted[i].owner == owner {
+			e.granted[i].count--
+			if e.granted[i].count <= 0 {
+				e.granted = append(e.granted[:i], e.granted[i+1:]...)
+			}
+			break
+		}
+	}
+	m.promote(key, e)
+}
+
+// promote grants queued waiters FIFO as long as they are compatible.
+func (m *Manager) promote(key Key, e *entry) {
+	for len(e.queue) > 0 {
+		w := e.queue[0]
+		if !e.compatibleWithGranted(w.owner, w.mode) {
+			break
+		}
+		e.queue = e.queue[1:]
+		w.ready = true
+		w.q.WakeAll(m.sm)
+		// Tentatively record the grant so the next waiter's compatibility
+		// check sees it (the woken proc will merge counts on wakeup).
+		if g := e.findGrant(w.owner); g == nil {
+			e.granted = append(e.granted, grant{owner: w.owner, mode: w.mode, count: 0})
+		}
+	}
+	if len(e.granted) == 0 && len(e.queue) == 0 {
+		delete(m.entries, key)
+	}
+}
+
+// WaitingLongest returns the age of the oldest waiter, for liveness checks.
+func (m *Manager) WaitingLongest(now sim.Time) sim.Duration {
+	var max sim.Duration
+	for _, e := range m.entries {
+		for _, w := range e.queue {
+			if d := sim.Duration(now - w.since); d > max {
+				max = d
+			}
+		}
+	}
+	return max
+}
+
+// Held reports whether owner currently holds any grant on key.
+func (m *Manager) Held(owner int64, key Key) bool {
+	e := m.entries[key]
+	if e == nil {
+		return false
+	}
+	return e.findGrant(owner) != nil
+}
+
+// NamedLatch is a short-duration exclusive latch (allocation structures,
+// log buffer, etc.). Waits are recorded in the LATCH class.
+type NamedLatch struct {
+	Name string
+	res  *sim.Resource
+	ctr  *metrics.Counters
+}
+
+// NewNamedLatch creates a latch.
+func NewNamedLatch(name string, ctr *metrics.Counters) *NamedLatch {
+	return &NamedLatch{Name: name, res: sim.NewResource(1), ctr: ctr}
+}
+
+// Do acquires the latch, holds it for holdNs of simulated time, and
+// releases it.
+func (l *NamedLatch) Do(p *sim.Proc, holdNs float64) {
+	wait := l.res.Acquire(p)
+	l.ctr.AddWait(metrics.WaitLatch, wait)
+	if holdNs > 0 {
+		p.Sleep(sim.Duration(holdNs))
+	}
+	l.res.Release(p.Sim())
+}

@@ -1,0 +1,226 @@
+package lock
+
+import (
+	"testing"
+	"testing/quick"
+
+	"repro/internal/metrics"
+	"repro/internal/sim"
+)
+
+func setup() (*sim.Sim, *Manager, *metrics.Counters) {
+	s := sim.New(1)
+	ctr := &metrics.Counters{}
+	return s, NewManager(s, ctr), ctr
+}
+
+func TestCompatibilityMatrixProperties(t *testing.T) {
+	// Symmetric except (S,U)/(U,S) which are both true, and X conflicts
+	// with everything including itself.
+	modes := []Mode{IS, IX, S, U, X}
+	for _, a := range modes {
+		if compatible[a][X] || compatible[X][a] {
+			t.Errorf("X must conflict with %v", a)
+		}
+	}
+	if !compatible[S][U] || !compatible[U][S] {
+		t.Error("U must be compatible with granted S and vice versa")
+	}
+	if compatible[U][U] {
+		t.Error("U must conflict with U")
+	}
+	if !compatible[IS][IX] || !compatible[IX][IS] {
+		t.Error("intent modes must be mutually compatible")
+	}
+	f := func(aRaw, bRaw uint8) bool {
+		a, b := Mode(aRaw%5), Mode(bRaw%5)
+		// covers(a,b) implies a granted alongside anything compatible
+		// with a is also safe for b... at minimum, covers must be
+		// reflexive and X covers all.
+		return covers(a, a) && covers(X, b)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSharedLocksDoNotBlock(t *testing.T) {
+	s, m, ctr := setup()
+	k := Key{Obj: 1, Row: 5}
+	done := 0
+	for i := 0; i < 5; i++ {
+		owner := int64(i + 1)
+		s.Spawn("r", func(p *sim.Proc) {
+			m.Acquire(p, owner, k, S)
+			p.Sleep(10 * sim.Millisecond)
+			m.Release(owner, k)
+			done++
+		})
+	}
+	s.Run(sim.Time(sim.Second))
+	if done != 5 {
+		t.Fatalf("done = %d", done)
+	}
+	if ctr.WaitNs[metrics.WaitLock] != 0 {
+		t.Fatal("shared locks should not wait")
+	}
+}
+
+func TestExclusiveBlocksAndFIFO(t *testing.T) {
+	s, m, ctr := setup()
+	k := Key{Obj: 1, Row: 5}
+	var order []int64
+	for i := 0; i < 4; i++ {
+		owner := int64(i + 1)
+		s.Spawn("w", func(p *sim.Proc) {
+			p.Sleep(sim.Duration(owner) * sim.Millisecond) // stagger arrivals
+			m.Acquire(p, owner, k, X)
+			order = append(order, owner)
+			p.Sleep(20 * sim.Millisecond)
+			m.Release(owner, k)
+		})
+	}
+	s.Run(sim.Time(sim.Second))
+	if len(order) != 4 {
+		t.Fatalf("granted %d", len(order))
+	}
+	for i, o := range order {
+		if o != int64(i+1) {
+			t.Fatalf("grant order = %v, want FIFO", order)
+		}
+	}
+	if ctr.WaitNs[metrics.WaitLock] == 0 {
+		t.Fatal("X contention recorded no LOCK waits")
+	}
+}
+
+func TestReacquireAndRefCount(t *testing.T) {
+	s, m, _ := setup()
+	k := Key{Obj: 2, Row: 1}
+	s.Spawn("a", func(p *sim.Proc) {
+		m.Acquire(p, 1, k, S)
+		m.Acquire(p, 1, k, S) // recount
+		m.Release(1, k)
+		if !m.Held(1, k) {
+			t.Error("lock dropped after single release of double acquire")
+		}
+		m.Release(1, k)
+		if m.Held(1, k) {
+			t.Error("lock still held after full release")
+		}
+	})
+	s.Run(sim.Time(sim.Second))
+}
+
+func TestUpdateLockConversion(t *testing.T) {
+	s, m, _ := setup()
+	k := Key{Obj: 3, Row: 7}
+	sequence := ""
+	// Reader holds S; updater takes U (compatible), converts to X after
+	// the reader releases.
+	s.Spawn("reader", func(p *sim.Proc) {
+		m.Acquire(p, 1, k, S)
+		p.Sleep(50 * sim.Millisecond)
+		sequence += "r"
+		m.Release(1, k)
+	})
+	s.Spawn("updater", func(p *sim.Proc) {
+		p.Sleep(sim.Millisecond)
+		m.Acquire(p, 2, k, U) // granted alongside S
+		sequence += "u"
+		m.Acquire(p, 2, k, X) // must wait for reader
+		sequence += "x"
+		m.Release(2, k)
+		m.Release(2, k)
+	})
+	s.Run(sim.Time(sim.Second))
+	if sequence != "urx" {
+		t.Fatalf("sequence = %q, want urx", sequence)
+	}
+}
+
+func TestUpdateLocksConflict(t *testing.T) {
+	s, m, _ := setup()
+	k := Key{Obj: 4, Row: 1}
+	var got []int64
+	for i := 0; i < 2; i++ {
+		owner := int64(i + 1)
+		s.Spawn("u", func(p *sim.Proc) {
+			p.Sleep(sim.Duration(owner) * sim.Millisecond)
+			m.Acquire(p, owner, k, U)
+			got = append(got, owner)
+			p.Sleep(30 * sim.Millisecond)
+			m.Release(owner, k)
+		})
+	}
+	s.Run(sim.Time(sim.Second))
+	if len(got) != 2 || got[0] != 1 || got[1] != 2 {
+		t.Fatalf("U grant order = %v", got)
+	}
+}
+
+func TestIntentLocksAllowRowAccess(t *testing.T) {
+	s, m, _ := setup()
+	table := Key{Obj: 5, Row: -1}
+	count := 0
+	for i := 0; i < 3; i++ {
+		owner := int64(i + 1)
+		s.Spawn("t", func(p *sim.Proc) {
+			m.Acquire(p, owner, table, IX)
+			m.Acquire(p, owner, Key{Obj: 5, Row: owner}, X)
+			p.Sleep(10 * sim.Millisecond)
+			m.Release(owner, Key{Obj: 5, Row: owner})
+			m.Release(owner, table)
+			count++
+		})
+	}
+	s.Run(sim.Time(sim.Second))
+	if count != 3 {
+		t.Fatalf("count = %d: IX locks must not serialize row writers", count)
+	}
+}
+
+func TestWaitingLongestLiveness(t *testing.T) {
+	s, m, _ := setup()
+	k := Key{Obj: 6, Row: 1}
+	s.Spawn("holder", func(p *sim.Proc) {
+		m.Acquire(p, 1, k, X)
+		p.Sleep(100 * sim.Millisecond)
+		m.Release(1, k)
+	})
+	s.Spawn("waiter", func(p *sim.Proc) {
+		p.Sleep(sim.Millisecond)
+		m.Acquire(p, 2, k, X)
+		m.Release(2, k)
+	})
+	s.Run(sim.Time(50 * sim.Millisecond))
+	if m.WaitingLongest(s.Now()) == 0 {
+		t.Fatal("expected a waiter mid-run")
+	}
+	s.Run(sim.Time(sim.Second))
+	if m.WaitingLongest(s.Now()) != 0 {
+		t.Fatal("waiter stuck")
+	}
+}
+
+func TestNamedLatchSerializes(t *testing.T) {
+	s := sim.New(1)
+	ctr := &metrics.Counters{}
+	lt := NewNamedLatch("log-buffer", ctr)
+	var last sim.Time
+	for i := 0; i < 10; i++ {
+		s.Spawn("l", func(p *sim.Proc) {
+			lt.Do(p, 10_000) // 10us hold
+			if p.Now() > last {
+				last = p.Now()
+			}
+		})
+	}
+	s.Run(sim.Time(sim.Second))
+	if last < sim.Time(100_000) {
+		t.Fatalf("latch did not serialize: finished at %v", last)
+	}
+	if ctr.WaitNs[metrics.WaitLatch] == 0 {
+		t.Fatal("no LATCH waits recorded")
+	}
+}

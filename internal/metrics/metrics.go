@@ -1,0 +1,237 @@
+// Package metrics collects the observability surface the paper reads:
+// PCM-like processor counters (instructions, LLC misses, DRAM bandwidth),
+// iostat-like device counters (SSD read/write bytes), and SQL-Server-DMV
+// style cumulative wait statistics. A Sampler snapshots the counters at
+// simulated 1-second intervals, yielding the per-interval series the
+// paper's bandwidth CDFs (Figure 4) are built from.
+package metrics
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/sim"
+)
+
+// WaitClass identifies a wait-statistics bucket, mirroring the wait types
+// in the paper's Table 3 plus the scheduler and I/O waits the engine adds.
+type WaitClass int
+
+// Wait classes.
+const (
+	WaitLock        WaitClass = iota // row/key lock waits (LOCK_M_*)
+	WaitLatch                        // non-buffer latch waits (LATCH_*)
+	WaitPageLatch                    // buffer latch, non-I/O (PAGELATCH_*)
+	WaitPageIOLatch                  // buffer latch, I/O (PAGEIOLATCH_*)
+	WaitResourceSem                  // query memory grant queue (RESOURCE_SEMAPHORE)
+	WaitWriteLog                     // log flush (WRITELOG)
+	WaitCPU                          // runnable, waiting for a scheduler
+	WaitIO                           // direct I/O waits outside the buffer pool
+	NumWaitClasses
+)
+
+// String returns the SQL-Server-style name of the wait class.
+func (w WaitClass) String() string {
+	switch w {
+	case WaitLock:
+		return "LOCK"
+	case WaitLatch:
+		return "LATCH"
+	case WaitPageLatch:
+		return "PAGELATCH"
+	case WaitPageIOLatch:
+		return "PAGEIOLATCH"
+	case WaitResourceSem:
+		return "RESOURCE_SEMAPHORE"
+	case WaitWriteLog:
+		return "WRITELOG"
+	case WaitCPU:
+		return "SOS_SCHEDULER_YIELD"
+	case WaitIO:
+		return "IO_COMPLETION"
+	default:
+		return fmt.Sprintf("WAIT(%d)", int(w))
+	}
+}
+
+// Counters is the cumulative counter set. All fields only ever increase.
+type Counters struct {
+	Instructions int64
+	Cycles       int64
+
+	LLCAccesses int64
+	LLCMisses   int64
+
+	DRAMReadBytes  int64
+	DRAMWriteBytes int64
+	QPIBytes       int64
+
+	SSDReadBytes  int64
+	SSDWriteBytes int64
+	SSDReadOps    int64
+	SSDWriteOps   int64
+
+	TxnCommits  int64
+	TxnAborts   int64
+	QueriesDone int64
+
+	BufferHits   int64
+	BufferMisses int64
+	Spills       int64
+
+	WaitNs [NumWaitClasses]int64
+}
+
+// AddWait records w nanoseconds of wait time in the given class.
+func (c *Counters) AddWait(class WaitClass, ns sim.Duration) {
+	if ns > 0 {
+		c.WaitNs[class] += int64(ns)
+	}
+}
+
+// Sub returns the delta c - o.
+func (c Counters) Sub(o Counters) Counters {
+	d := Counters{
+		Instructions:   c.Instructions - o.Instructions,
+		Cycles:         c.Cycles - o.Cycles,
+		LLCAccesses:    c.LLCAccesses - o.LLCAccesses,
+		LLCMisses:      c.LLCMisses - o.LLCMisses,
+		DRAMReadBytes:  c.DRAMReadBytes - o.DRAMReadBytes,
+		DRAMWriteBytes: c.DRAMWriteBytes - o.DRAMWriteBytes,
+		QPIBytes:       c.QPIBytes - o.QPIBytes,
+		SSDReadBytes:   c.SSDReadBytes - o.SSDReadBytes,
+		SSDWriteBytes:  c.SSDWriteBytes - o.SSDWriteBytes,
+		SSDReadOps:     c.SSDReadOps - o.SSDReadOps,
+		SSDWriteOps:    c.SSDWriteOps - o.SSDWriteOps,
+		TxnCommits:     c.TxnCommits - o.TxnCommits,
+		TxnAborts:      c.TxnAborts - o.TxnAborts,
+		QueriesDone:    c.QueriesDone - o.QueriesDone,
+		BufferHits:     c.BufferHits - o.BufferHits,
+		BufferMisses:   c.BufferMisses - o.BufferMisses,
+		Spills:         c.Spills - o.Spills,
+	}
+	for i := range d.WaitNs {
+		d.WaitNs[i] = c.WaitNs[i] - o.WaitNs[i]
+	}
+	return d
+}
+
+// MPKI returns LLC misses per thousand instructions.
+func (c Counters) MPKI() float64 {
+	if c.Instructions == 0 {
+		return 0
+	}
+	return float64(c.LLCMisses) / float64(c.Instructions) * 1000
+}
+
+// Sample is one interval snapshot.
+type Sample struct {
+	At    sim.Time
+	Delta Counters // change over the interval ending at At
+}
+
+// Sampler periodically snapshots a Counters and stores per-interval deltas.
+type Sampler struct {
+	C        *Counters
+	Interval sim.Duration
+	Samples  []Sample
+
+	prev    Counters
+	stopped bool
+}
+
+// Stop makes the sampling proc exit at its next wakeup, so simulations can
+// drain cleanly instead of leaking the sampler goroutine.
+func (s *Sampler) Stop() { s.stopped = true }
+
+// NewSampler creates a sampler over c with the paper's 1-second interval.
+func NewSampler(c *Counters) *Sampler {
+	return &Sampler{C: c, Interval: sim.Second}
+}
+
+// Start spawns the sampling proc; it runs until the simulation deadline.
+func (s *Sampler) Start(sm *sim.Sim) {
+	s.prev = *s.C
+	sm.Spawn("metrics-sampler", func(p *sim.Proc) {
+		for !s.stopped {
+			p.Sleep(s.Interval)
+			cur := *s.C
+			s.Samples = append(s.Samples, Sample{At: p.Now(), Delta: cur.Sub(s.prev)})
+			s.prev = cur
+		}
+	})
+}
+
+// Series extracts one per-interval value from every sample.
+func (s *Sampler) Series(f func(Counters) float64) []float64 {
+	out := make([]float64, len(s.Samples))
+	for i, sm := range s.Samples {
+		out[i] = f(sm.Delta)
+	}
+	return out
+}
+
+// BandwidthMBps converts a per-interval byte delta into MB/s given the
+// sampler interval.
+func (s *Sampler) BandwidthMBps(bytes func(Counters) int64) []float64 {
+	secs := s.Interval.Seconds()
+	return s.Series(func(c Counters) float64 {
+		return float64(bytes(c)) / 1e6 / secs
+	})
+}
+
+// Distribution summarizes a sample series for CDF plots (Figure 4).
+type Distribution struct {
+	Sorted []float64
+}
+
+// NewDistribution copies and sorts values.
+func NewDistribution(values []float64) Distribution {
+	s := append([]float64(nil), values...)
+	sort.Float64s(s)
+	return Distribution{Sorted: s}
+}
+
+// Percentile returns the p-th percentile (p in [0,100]) by linear
+// interpolation, or 0 for an empty distribution.
+func (d Distribution) Percentile(p float64) float64 {
+	n := len(d.Sorted)
+	if n == 0 {
+		return 0
+	}
+	if p <= 0 {
+		return d.Sorted[0]
+	}
+	if p >= 100 {
+		return d.Sorted[n-1]
+	}
+	pos := p / 100 * float64(n-1)
+	lo := int(pos)
+	frac := pos - float64(lo)
+	if lo+1 >= n {
+		return d.Sorted[n-1]
+	}
+	return d.Sorted[lo]*(1-frac) + d.Sorted[lo+1]*frac
+}
+
+// Mean returns the arithmetic mean, or 0 for an empty distribution.
+func (d Distribution) Mean() float64 {
+	if len(d.Sorted) == 0 {
+		return 0
+	}
+	sum := 0.0
+	for _, v := range d.Sorted {
+		sum += v
+	}
+	return sum / float64(len(d.Sorted))
+}
+
+// CDF returns (value, cumulative fraction) points suitable for plotting.
+func (d Distribution) CDF() [][2]float64 {
+	n := len(d.Sorted)
+	out := make([][2]float64, n)
+	for i, v := range d.Sorted {
+		out[i] = [2]float64{v, float64(i+1) / float64(n)}
+	}
+	return out
+}

@@ -1,0 +1,77 @@
+package metrics
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/sim"
+)
+
+func TestSamplerCollectsIntervalDeltas(t *testing.T) {
+	s := sim.New(1)
+	ctr := &Counters{}
+	smp := NewSampler(ctr)
+	smp.Start(s)
+	s.Spawn("load", func(p *sim.Proc) {
+		for i := 0; i < 5; i++ {
+			ctr.SSDReadBytes += 100e6
+			ctr.Instructions += 1000
+			ctr.LLCMisses += 50
+			p.Sleep(sim.Second)
+		}
+	})
+	s.Run(sim.Time(4500 * sim.Millisecond))
+	smp.Stop()
+	s.Run(sim.Time(10 * sim.Second))
+	if len(smp.Samples) < 4 {
+		t.Fatalf("samples = %d", len(smp.Samples))
+	}
+	bw := smp.BandwidthMBps(func(c Counters) int64 { return c.SSDReadBytes })
+	for i, v := range bw[:4] {
+		if math.Abs(v-100) > 1 {
+			t.Fatalf("interval %d bandwidth = %.1f MB/s, want 100", i, v)
+		}
+	}
+	d := smp.Samples[0].Delta
+	if got := d.MPKI(); math.Abs(got-50) > 0.01 {
+		t.Fatalf("MPKI = %f, want 50", got)
+	}
+}
+
+func TestDistributionPercentiles(t *testing.T) {
+	d := NewDistribution([]float64{5, 1, 3, 2, 4})
+	if got := d.Percentile(0); got != 1 {
+		t.Fatalf("p0 = %f", got)
+	}
+	if got := d.Percentile(100); got != 5 {
+		t.Fatalf("p100 = %f", got)
+	}
+	if got := d.Percentile(50); got != 3 {
+		t.Fatalf("p50 = %f", got)
+	}
+	if got := d.Mean(); got != 3 {
+		t.Fatalf("mean = %f", got)
+	}
+	cdf := d.CDF()
+	if len(cdf) != 5 || cdf[4][1] != 1.0 {
+		t.Fatalf("cdf = %v", cdf)
+	}
+	empty := NewDistribution(nil)
+	if empty.Percentile(50) != 0 || empty.Mean() != 0 {
+		t.Fatal("empty distribution should return zeros")
+	}
+}
+
+func TestCountersSubAndWaits(t *testing.T) {
+	a := Counters{Instructions: 100, TxnCommits: 5}
+	a.AddWait(WaitLock, 20)
+	a.AddWait(WaitLock, -3) // ignored
+	b := Counters{Instructions: 40, TxnCommits: 2}
+	d := a.Sub(b)
+	if d.Instructions != 60 || d.TxnCommits != 3 || d.WaitNs[WaitLock] != 20 {
+		t.Fatalf("delta = %+v", d)
+	}
+	if WaitPageIOLatch.String() != "PAGEIOLATCH" || WaitLock.String() != "LOCK" {
+		t.Fatal("wait class names wrong")
+	}
+}

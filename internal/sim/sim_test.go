@@ -1,0 +1,279 @@
+package sim
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestClockAdvancesWithSleep(t *testing.T) {
+	s := New(1)
+	var at []Time
+	s.Spawn("a", func(p *Proc) {
+		p.Sleep(10 * Millisecond)
+		at = append(at, p.Now())
+		p.Sleep(5 * Millisecond)
+		at = append(at, p.Now())
+	})
+	end := s.Run(Time(Second))
+	if len(at) != 2 || at[0] != Time(10*Millisecond) || at[1] != Time(15*Millisecond) {
+		t.Fatalf("wakeup times = %v", at)
+	}
+	if end != Time(Second) {
+		t.Fatalf("end = %v, want %v", end, Time(Second))
+	}
+}
+
+func TestSameTimeEventsRunFIFO(t *testing.T) {
+	s := New(1)
+	var order []string
+	for _, name := range []string{"a", "b", "c"} {
+		name := name
+		s.Spawn(name, func(p *Proc) {
+			p.Sleep(Millisecond)
+			order = append(order, name)
+		})
+	}
+	s.Run(Time(Second))
+	if len(order) != 3 || order[0] != "a" || order[1] != "b" || order[2] != "c" {
+		t.Fatalf("order = %v", order)
+	}
+}
+
+func TestRunStopsAtDeadline(t *testing.T) {
+	s := New(1)
+	ran := false
+	s.Spawn("late", func(p *Proc) {
+		p.Sleep(2 * Second)
+		ran = true
+	})
+	s.Run(Time(Second))
+	if ran {
+		t.Fatal("event past deadline executed")
+	}
+	if s.Now() != Time(Second) {
+		t.Fatalf("now = %v", s.Now())
+	}
+	// Continuing past the deadline runs it.
+	s.Run(Time(3 * Second))
+	if !ran {
+		t.Fatal("event not executed after extending deadline")
+	}
+}
+
+func TestWaitQueueWakeOneIsFIFO(t *testing.T) {
+	s := New(1)
+	var q WaitQueue
+	var order []string
+	for _, name := range []string{"w1", "w2", "w3"} {
+		name := name
+		s.Spawn(name, func(p *Proc) {
+			q.Wait(p)
+			order = append(order, name)
+		})
+	}
+	s.Spawn("waker", func(p *Proc) {
+		p.Sleep(Millisecond)
+		for q.Len() > 0 {
+			q.WakeOne(p.Sim())
+			p.Sleep(Millisecond)
+		}
+	})
+	s.Run(Time(Second))
+	if len(order) != 3 || order[0] != "w1" || order[1] != "w2" || order[2] != "w3" {
+		t.Fatalf("order = %v", order)
+	}
+	if s.Live() != 0 {
+		t.Fatalf("live procs = %d", s.Live())
+	}
+}
+
+func TestResourceLimitsConcurrency(t *testing.T) {
+	s := New(1)
+	r := NewResource(2)
+	inUse, maxUse := 0, 0
+	for i := 0; i < 6; i++ {
+		s.Spawn("u", func(p *Proc) {
+			r.Acquire(p)
+			inUse++
+			if inUse > maxUse {
+				maxUse = inUse
+			}
+			p.Sleep(10 * Millisecond)
+			inUse--
+			r.Release(p.Sim())
+		})
+	}
+	s.Run(Time(Second))
+	if maxUse != 2 {
+		t.Fatalf("max concurrent = %d, want 2", maxUse)
+	}
+	if s.Live() != 0 {
+		t.Fatalf("live procs = %d", s.Live())
+	}
+}
+
+func TestResourceAcquireReportsWait(t *testing.T) {
+	s := New(1)
+	r := NewResource(1)
+	var waited Duration
+	s.Spawn("first", func(p *Proc) {
+		r.Acquire(p)
+		p.Sleep(20 * Millisecond)
+		r.Release(p.Sim())
+	})
+	s.Spawn("second", func(p *Proc) {
+		p.Sleep(Millisecond)
+		waited = r.Acquire(p)
+		r.Release(p.Sim())
+	})
+	s.Run(Time(Second))
+	if waited != 19*Millisecond {
+		t.Fatalf("waited = %v, want 19ms", waited)
+	}
+}
+
+func TestDeterminismAcrossRuns(t *testing.T) {
+	trace := func() []int64 {
+		s := New(42)
+		var out []int64
+		for i := 0; i < 5; i++ {
+			s.Spawn("p", func(p *Proc) {
+				for j := 0; j < 10; j++ {
+					p.Sleep(Duration(p.RNG().Int64n(int64(Millisecond))))
+					out = append(out, int64(p.Now()))
+				}
+			})
+		}
+		s.Run(Time(Second))
+		return out
+	}
+	a, b := trace(), trace()
+	if len(a) != len(b) || len(a) != 50 {
+		t.Fatalf("trace lengths %d, %d", len(a), len(b))
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("trace diverges at %d: %d vs %d", i, a[i], b[i])
+		}
+	}
+}
+
+func TestSpawnDuringRun(t *testing.T) {
+	s := New(1)
+	count := 0
+	s.Spawn("parent", func(p *Proc) {
+		for i := 0; i < 3; i++ {
+			p.Sim().Spawn("child", func(c *Proc) {
+				c.Sleep(Millisecond)
+				count++
+			})
+			p.Sleep(Millisecond)
+		}
+	})
+	s.Run(Time(Second))
+	if count != 3 {
+		t.Fatalf("children ran = %d, want 3", count)
+	}
+}
+
+func TestZipfSkew(t *testing.T) {
+	g := NewRNG(7)
+	z := NewZipf(1000, 0.99)
+	counts := make(map[int64]int)
+	const draws = 20000
+	for i := 0; i < draws; i++ {
+		v := z.Next(g)
+		if v < 0 || v >= 1000 {
+			t.Fatalf("draw out of range: %d", v)
+		}
+		counts[v]++
+	}
+	// The hottest item should receive far more than the uniform share.
+	if counts[0] < draws/100 {
+		t.Fatalf("item 0 drawn %d times, expected heavy skew", counts[0])
+	}
+}
+
+func TestZipfInRangeProperty(t *testing.T) {
+	g := NewRNG(11)
+	f := func(nRaw uint16, seed int64) bool {
+		n := int64(nRaw%5000) + 1
+		z := NewZipf(n, 0.8)
+		for i := 0; i < 50; i++ {
+			v := z.Next(g)
+			if v < 0 || v >= n {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRNGHelpersWithinBounds(t *testing.T) {
+	g := NewRNG(3)
+	f := func(lo, span int16) bool {
+		l, h := int64(lo), int64(lo)+int64(span&0x7fff)
+		v := g.UniformInt(l, h)
+		return v >= l && v <= h
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 100; i++ {
+		if v := g.Exp(5); v < 0 || math.IsNaN(v) {
+			t.Fatalf("Exp produced %v", v)
+		}
+		if v := g.Normal(10, 2); v < 2 || v > 18 {
+			t.Fatalf("Normal clamp failed: %v", v)
+		}
+	}
+}
+
+func TestForkIndependence(t *testing.T) {
+	a := NewRNG(9)
+	b := a.Fork()
+	c := a.Fork()
+	if b.Int63() == c.Int63() {
+		t.Fatal("forked streams identical on first draw")
+	}
+}
+
+func TestWaitTimeout(t *testing.T) {
+	s := New(1)
+	var q WaitQueue
+	var timedOut, wokenOut bool
+	s.Spawn("sleeper", func(p *Proc) {
+		timedOut = q.WaitTimeout(p, 10*Millisecond)
+	})
+	s.Run(Time(Second))
+	if !timedOut {
+		t.Fatal("expected timeout")
+	}
+	if q.Len() != 0 {
+		t.Fatal("timed-out waiter left in queue")
+	}
+	// A waiter woken before the deadline reports no timeout, and its
+	// stale timeout event must not disturb a later park.
+	var secondWake Time
+	s.Spawn("w", func(p *Proc) {
+		wokenOut = q.WaitTimeout(p, 50*Millisecond)
+		p.Sleep(200 * Millisecond) // stale timeout would fire during this
+		secondWake = p.Now()
+	})
+	s.Spawn("waker", func(p *Proc) {
+		p.Sleep(5 * Millisecond)
+		q.WakeOne(p.Sim())
+	})
+	start := s.Now()
+	s.Run(Time(10 * Second))
+	if wokenOut {
+		t.Fatal("woken waiter reported timeout")
+	}
+	if got := secondWake - start; got != Time(205*Millisecond) {
+		t.Fatalf("stale timeout disturbed later sleep: woke after %v", Duration(got))
+	}
+}

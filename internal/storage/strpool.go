@@ -1,0 +1,80 @@
+package storage
+
+import "strings"
+
+// StrPool is a dictionary mapping strings to dense int64 codes. String
+// columns store codes; predicates over strings (equality, prefix LIKE)
+// compile to code sets against the pool.
+type StrPool struct {
+	strs  []string
+	codes map[string]int64
+}
+
+// NewStrPool creates an empty pool.
+func NewStrPool() *StrPool {
+	return &StrPool{codes: make(map[string]int64)}
+}
+
+// Code interns s and returns its code.
+func (p *StrPool) Code(s string) int64 {
+	if c, ok := p.codes[s]; ok {
+		return c
+	}
+	c := int64(len(p.strs))
+	p.strs = append(p.strs, s)
+	p.codes[s] = c
+	return c
+}
+
+// Lookup returns the code for s and whether it is interned.
+func (p *StrPool) Lookup(s string) (int64, bool) {
+	c, ok := p.codes[s]
+	return c, ok
+}
+
+// Str returns the string for a code; out-of-range codes return "".
+func (p *StrPool) Str(code int64) string {
+	if code < 0 || code >= int64(len(p.strs)) {
+		return ""
+	}
+	return p.strs[code]
+}
+
+// Len returns the number of interned strings.
+func (p *StrPool) Len() int { return len(p.strs) }
+
+// MatchPrefix returns the set of codes whose strings start with prefix
+// (the compilation of `LIKE 'prefix%'`).
+func (p *StrPool) MatchPrefix(prefix string) map[int64]bool {
+	out := make(map[int64]bool)
+	for i, s := range p.strs {
+		if strings.HasPrefix(s, prefix) {
+			out[int64(i)] = true
+		}
+	}
+	return out
+}
+
+// Match returns the set of codes whose strings satisfy fn (the general
+// LIKE-compilation hook for multi-wildcard patterns).
+func (p *StrPool) Match(fn func(string) bool) map[int64]bool {
+	out := make(map[int64]bool)
+	for i, s := range p.strs {
+		if fn(s) {
+			out[int64(i)] = true
+		}
+	}
+	return out
+}
+
+// MatchContains returns codes whose strings contain sub
+// (the compilation of `LIKE '%sub%'`).
+func (p *StrPool) MatchContains(sub string) map[int64]bool {
+	out := make(map[int64]bool)
+	for i, s := range p.strs {
+		if strings.Contains(s, sub) {
+			out[int64(i)] = true
+		}
+	}
+	return out
+}

@@ -1,0 +1,83 @@
+package txn
+
+import (
+	"testing"
+
+	"repro/internal/iodev"
+	"repro/internal/lock"
+	"repro/internal/metrics"
+	"repro/internal/sim"
+	"repro/internal/wal"
+)
+
+func setup() (*sim.Sim, *Manager, *metrics.Counters, *wal.Log) {
+	s := sim.New(1)
+	ctr := &metrics.Counters{}
+	dev := iodev.New(iodev.PaperSSD(), ctr)
+	l := wal.New(s, dev, ctr)
+	l.Start()
+	m := NewManager(lock.NewManager(s, ctr), l, ctr)
+	return s, m, ctr, l
+}
+
+func TestCommitReleasesLocksAndCounts(t *testing.T) {
+	s, m, ctr, l := setup()
+	k := lock.Key{Obj: 1, Row: 1}
+	s.Spawn("t1", func(p *sim.Proc) {
+		tx := m.Begin()
+		tx.Lock(p, k, lock.X)
+		tx.LogWrite(300)
+		tx.Commit(p)
+	})
+	s.Spawn("t2", func(p *sim.Proc) {
+		p.Sleep(sim.Millisecond)
+		tx := m.Begin()
+		tx.Lock(p, k, lock.X) // must be granted after t1 commits
+		tx.Commit(p)
+	})
+	s.Run(sim.Time(sim.Second))
+	if ctr.TxnCommits != 2 {
+		t.Fatalf("commits = %d", ctr.TxnCommits)
+	}
+	if m.Locks.Held(1, k) || m.Locks.Held(2, k) {
+		t.Fatal("locks leaked")
+	}
+	l.Stop()
+	s.Run(sim.Time(2 * sim.Second))
+}
+
+func TestAbortReleasesWithoutFlushWait(t *testing.T) {
+	s, m, ctr, l := setup()
+	k := lock.Key{Obj: 1, Row: 2}
+	s.Spawn("t", func(p *sim.Proc) {
+		tx := m.Begin()
+		tx.Lock(p, k, lock.X)
+		tx.LogWrite(500)
+		tx.Abort()
+		if m.Locks.Held(tx.ID(), k) {
+			t.Error("abort leaked lock")
+		}
+	})
+	s.Run(sim.Time(sim.Second))
+	if ctr.TxnAborts != 1 || ctr.TxnCommits != 0 {
+		t.Fatalf("aborts=%d commits=%d", ctr.TxnAborts, ctr.TxnCommits)
+	}
+	l.Stop()
+	s.Run(sim.Time(2 * sim.Second))
+}
+
+func TestDoubleCommitIsNoOp(t *testing.T) {
+	s, m, ctr, l := setup()
+	s.Spawn("t", func(p *sim.Proc) {
+		tx := m.Begin()
+		tx.Commit(p)
+		tx.Commit(p)
+		tx.Abort()
+	})
+	s.Run(sim.Time(sim.Second))
+	if ctr.TxnCommits != 1 || ctr.TxnAborts != 0 {
+		t.Fatalf("commits=%d aborts=%d", ctr.TxnCommits, ctr.TxnAborts)
+	}
+	l.Stop()
+	s.Run(sim.Time(2 * sim.Second))
+}

@@ -1,0 +1,94 @@
+// Package wal implements the engine's write-ahead log with group commit.
+//
+// Transactions append log records to an in-memory log buffer; committing
+// waits until the log writer has flushed past the transaction's LSN. The
+// log writer batches pending bytes into device writes, so many small
+// commits share one flush (group commit). All flush I/O goes through the
+// device's write channel, where it competes with checkpoint writes and is
+// subject to the blkio write throttle — the mechanism behind the paper's
+// finding that transactional throughput is sensitive to write bandwidth
+// even when data fits in memory.
+package wal
+
+import (
+	"repro/internal/iodev"
+	"repro/internal/metrics"
+	"repro/internal/sim"
+)
+
+// Log is a write-ahead log bound to one device.
+type Log struct {
+	sm  *sim.Sim
+	dev *iodev.Device
+	ctr *metrics.Counters
+
+	// MaxFlushBytes caps one flush I/O (the 60 KB log-block limit).
+	MaxFlushBytes int64
+
+	appendedLSN int64 // bytes appended
+	flushedLSN  int64 // bytes durably written
+
+	writerIdle sim.WaitQueue // log writer parks here when nothing to do
+	commitQ    sim.WaitQueue // committers park here until flushedLSN advances
+
+	stopped bool
+}
+
+// New creates a log writing to dev.
+func New(sm *sim.Sim, dev *iodev.Device, ctr *metrics.Counters) *Log {
+	return &Log{sm: sm, dev: dev, ctr: ctr, MaxFlushBytes: 60 << 10}
+}
+
+// Start spawns the log-writer proc.
+func (l *Log) Start() {
+	l.sm.Spawn("log-writer", func(p *sim.Proc) {
+		for !l.stopped {
+			if l.appendedLSN == l.flushedLSN {
+				l.writerIdle.Wait(p)
+				continue
+			}
+			batch := l.appendedLSN - l.flushedLSN
+			if batch > l.MaxFlushBytes {
+				batch = l.MaxFlushBytes
+			}
+			l.dev.Write(p, batch)
+			l.flushedLSN += batch
+			l.commitQ.WakeAll(l.sm)
+		}
+	})
+}
+
+// Stop makes the log writer exit at its next wakeup.
+func (l *Log) Stop() {
+	l.stopped = true
+	l.writerIdle.WakeAll(l.sm)
+}
+
+// Append adds bytes of log records and returns the record's LSN.
+func (l *Log) Append(bytes int64) int64 {
+	if bytes < 0 {
+		bytes = 0
+	}
+	l.appendedLSN += bytes
+	return l.appendedLSN
+}
+
+// Commit appends the commit record and blocks p until the log is durable
+// past it, recording the wait as WRITELOG. It returns the wait duration.
+func (l *Log) Commit(p *sim.Proc, lastBytes int64) sim.Duration {
+	lsn := l.Append(lastBytes + 96) // commit record overhead
+	start := p.Now()
+	for l.flushedLSN < lsn && !l.stopped {
+		l.writerIdle.WakeAll(l.sm)
+		l.commitQ.Wait(p)
+	}
+	wait := sim.Duration(p.Now() - start)
+	l.ctr.AddWait(metrics.WaitWriteLog, wait)
+	return wait
+}
+
+// FlushedLSN returns the durable LSN.
+func (l *Log) FlushedLSN() int64 { return l.flushedLSN }
+
+// AppendedLSN returns the in-memory LSN.
+func (l *Log) AppendedLSN() int64 { return l.appendedLSN }

@@ -1,0 +1,104 @@
+package wal
+
+import (
+	"testing"
+
+	"repro/internal/iodev"
+	"repro/internal/metrics"
+	"repro/internal/sim"
+)
+
+func setup() (*sim.Sim, *Log, *metrics.Counters) {
+	s := sim.New(1)
+	ctr := &metrics.Counters{}
+	dev := iodev.New(iodev.PaperSSD(), ctr)
+	l := New(s, dev, ctr)
+	l.Start()
+	return s, l, ctr
+}
+
+func TestCommitWaitsForDurability(t *testing.T) {
+	s, l, ctr := setup()
+	committed := false
+	s.Spawn("t", func(p *sim.Proc) {
+		l.Append(500)
+		l.Commit(p, 100)
+		committed = true
+	})
+	s.Run(sim.Time(sim.Second))
+	if !committed {
+		t.Fatal("commit never completed")
+	}
+	if l.FlushedLSN() < 500+100 {
+		t.Fatalf("flushed LSN = %d", l.FlushedLSN())
+	}
+	if ctr.SSDWriteBytes == 0 {
+		t.Fatal("no log write issued")
+	}
+	l.Stop()
+	s.Run(sim.Time(2 * sim.Second))
+}
+
+func TestGroupCommitBatchesFlushes(t *testing.T) {
+	s, l, ctr := setup()
+	done := 0
+	for i := 0; i < 50; i++ {
+		s.Spawn("t", func(p *sim.Proc) {
+			l.Commit(p, 200)
+			done++
+		})
+	}
+	s.Run(sim.Time(sim.Second))
+	if done != 50 {
+		t.Fatalf("committed %d of 50", done)
+	}
+	// 50 commits should need far fewer than 50 flush I/Os.
+	if ctr.SSDWriteOps >= 25 {
+		t.Fatalf("write ops = %d, expected group commit batching", ctr.SSDWriteOps)
+	}
+	l.Stop()
+	s.Run(sim.Time(2 * sim.Second))
+}
+
+func TestWriteThrottleDelaysCommit(t *testing.T) {
+	run := func(limitMBps float64) float64 {
+		s := sim.New(1)
+		ctr := &metrics.Counters{}
+		dev := iodev.New(iodev.PaperSSD(), ctr)
+		if limitMBps > 0 {
+			th := iodev.NewThrottle(limitMBps)
+			dev.SetThrottles(nil, th)
+		}
+		l := New(s, dev, ctr)
+		l.Start()
+		var end sim.Time
+		s.Spawn("t", func(p *sim.Proc) {
+			for i := 0; i < 100; i++ {
+				l.Commit(p, 50_000) // 5 MB of log total
+			}
+			end = p.Now()
+		})
+		s.Run(sim.Time(100 * sim.Second))
+		l.Stop()
+		s.Run(sim.Time(200 * sim.Second))
+		return end.Seconds()
+	}
+	fast := run(0)
+	slow := run(1) // 1 MB/s write limit
+	if slow < fast*10 {
+		t.Fatalf("write throttle barely slowed commits: %.3fs vs %.3fs", slow, fast)
+	}
+}
+
+func TestCommitRecordsWriteLogWait(t *testing.T) {
+	s, l, ctr := setup()
+	s.Spawn("t", func(p *sim.Proc) {
+		l.Commit(p, 1000)
+	})
+	s.Run(sim.Time(sim.Second))
+	if ctr.WaitNs[metrics.WaitWriteLog] == 0 {
+		t.Fatal("commit recorded no WRITELOG wait")
+	}
+	l.Stop()
+	s.Run(sim.Time(2 * sim.Second))
+}

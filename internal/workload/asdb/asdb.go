@@ -1,0 +1,252 @@
+// Package asdb implements a clone of the Azure SQL Database Benchmark
+// (ASDB): a synthetic OLTP workload over fixed-size, scaling, and growing
+// tables, driven by 128 client threads issuing a CRUD mix. The paper runs
+// it at scale factors 2000 (51 GB, fits in memory) and 6000 (153 GB,
+// does not).
+//
+// Scale mapping: scale factor units each contribute ~25.6 MB of nominal
+// data (matching Table 2's 51.13 GB at SF 2000), split across two scaling
+// tables; the growing table starts small and grows with inserts; fixed
+// tables do not scale.
+package asdb
+
+import (
+	"fmt"
+
+	"repro/internal/access"
+	"repro/internal/btree"
+	"repro/internal/engine"
+	"repro/internal/sim"
+	"repro/internal/storage"
+)
+
+// Config selects the scale factor and generation density.
+type Config struct {
+	SF int
+	// ActualRowsPerSF controls down-scaling of the scaling tables
+	// (default 30 actual rows per SF unit for the big table).
+	ActualRowsPerSF int
+	Seed            int64
+}
+
+// Per-SF nominal cardinalities, tuned so SF 2000 lands near Table 2's
+// 51.13 GB of data with ~0.21 GB of (clustered-internal) index.
+const (
+	bigRowsPerSF   = 60000 // x 320 B  = 19.2 MB/SF
+	smallRowsPerSF = 40000 // x 160 B  = 6.4 MB/SF
+	fixedRows      = 50000
+	growInitPerSF  = 1000
+)
+
+// Dataset is a generated ASDB database.
+type Dataset struct {
+	Cfg Config
+	DB  *engine.Database
+
+	Fixed, Big, Small, Growing *storage.Table
+	PKFixed, PKBig, PKSmall    *access.BTIndex
+	PKGrowing, IXGrowing       *access.BTIndex
+
+	rng *sim.RNG
+}
+
+func wideSchema(name string, payloadCols, colWidth int) *storage.Schema {
+	cols := []storage.Column{{Name: "id", Type: storage.TInt, Width: 8}}
+	for i := 0; i < payloadCols; i++ {
+		cols = append(cols, storage.Column{
+			Name: fmt.Sprintf("v%d", i), Type: storage.TInt, Width: colWidth,
+		})
+	}
+	return storage.NewSchema(name, cols...)
+}
+
+// Build generates the dataset.
+func Build(cfg Config) *Dataset {
+	if cfg.SF <= 0 {
+		cfg.SF = 10
+	}
+	if cfg.ActualRowsPerSF <= 0 {
+		cfg.ActualRowsPerSF = 30
+	}
+	d := &Dataset{Cfg: cfg, rng: sim.NewRNG(cfg.Seed + int64(cfg.SF))}
+	db := engine.NewDatabase(fmt.Sprintf("asdb-%d", cfg.SF))
+	d.DB = db
+	sf := int64(cfg.SF)
+
+	// Fixed-size reference table.
+	d.Fixed = db.AddTable(wideSchema("asdb_fixed", 6, 12), 50)
+	for i := int64(0); i < fixedRows/50; i++ {
+		d.Fixed.AppendLoad(d.row(7, i))
+	}
+	d.PKFixed = db.AddBTIndex("pk_fixed", d.Fixed, []string{"id"}, true, true)
+
+	// Scaling tables: cardinality proportional to SF, constant during
+	// the run.
+	kBig := int64(bigRowsPerSF / cfg.ActualRowsPerSF)
+	d.Big = db.AddTable(wideSchema("asdb_big", 12, 26), kBig)
+	for i := int64(0); i < sf*int64(cfg.ActualRowsPerSF); i++ {
+		d.Big.AppendLoad(d.row(13, i))
+	}
+	d.PKBig = db.AddBTIndex("pk_big", d.Big, []string{"id"}, true, true)
+
+	kSmall := kBig
+	d.Small = db.AddTable(wideSchema("asdb_small", 9, 17), kSmall)
+	for i := int64(0); i < sf*smallRowsPerSF/kSmall; i++ {
+		d.Small.AppendLoad(d.row(10, i))
+	}
+	d.PKSmall = db.AddBTIndex("pk_small", d.Small, []string{"id"}, true, true)
+
+	// Growing table: sized like a scaling table initially, then grows and
+	// shrinks during the run.
+	d.Growing = db.AddTable(wideSchema("asdb_growing", 8, 20), kBig)
+	for i := int64(0); i < sf*growInitPerSF/kBig+4; i++ {
+		d.Growing.AppendLoad(d.row(9, i))
+	}
+	d.PKGrowing = db.AddBTIndex("pk_growing", d.Growing, []string{"id"}, true, true)
+	d.IXGrowing = db.AddBTIndex("ix_growing_v0", d.Growing, []string{"v0"}, false, false)
+	return d
+}
+
+func (d *Dataset) row(n int, id int64) []int64 {
+	r := make([]int64, n)
+	r[0] = id
+	for i := 1; i < n; i++ {
+		r[i] = d.rng.Int64n(1 << 30)
+	}
+	return r
+}
+
+// Mix is the ASDB operation mix in percent.
+type Mix struct {
+	PointRead float64 // single-row select on a scaling table
+	RangeRead float64 // short range scan
+	JoinRead  float64 // point read joined to the fixed table
+	Update    float64 // single-row update
+	Insert    float64 // insert into the growing table
+	Delete    float64 // delete from the growing table
+}
+
+// DefaultMix returns the CRUD balance of the benchmark.
+func DefaultMix() Mix {
+	return Mix{
+		PointRead: 35,
+		RangeRead: 15,
+		JoinRead:  10,
+		Update:    20,
+		Insert:    14,
+		Delete:    6,
+	}
+}
+
+// Stats counts operations.
+type Stats struct {
+	ByType map[string]int
+	Total  int
+}
+
+type client struct {
+	d    *Dataset
+	sess *engine.Session
+	g    *sim.RNG
+	zBig *sim.Zipf
+}
+
+func (c *client) key(t *storage.Table, nid int64) btree.Key {
+	return btree.Key{t.Get(t.ToActual(nid), 0)}
+}
+
+func (c *client) pointRead() {
+	tx := c.sess.Begin()
+	nid := c.zBig.Next(c.g)
+	c.sess.Read(tx, c.d.PKBig, c.key(c.d.Big, nid), nid)
+	c.sess.Commit(tx)
+}
+
+func (c *client) rangeRead() {
+	tx := c.sess.Begin()
+	nid := c.g.Int64n(c.d.Small.NominalRows())
+	c.sess.ReadRange(tx, c.d.PKSmall, c.key(c.d.Small, nid), nid, 50)
+	c.sess.Commit(tx)
+}
+
+func (c *client) joinRead() {
+	tx := c.sess.Begin()
+	fid := c.g.Int64n(c.d.Fixed.NominalRows())
+	c.sess.Read(tx, c.d.PKFixed, c.key(c.d.Fixed, fid), fid)
+	nid := c.zBig.Next(c.g)
+	c.sess.Read(tx, c.d.PKBig, c.key(c.d.Big, nid), nid)
+	c.sess.Commit(tx)
+}
+
+func (c *client) update() {
+	tx := c.sess.Begin()
+	nid := c.zBig.Next(c.g)
+	t := c.d.Big
+	c.sess.Update(tx, c.d.PKBig, c.key(t, nid), nid, func(rowID int64) {
+		t.Set(rowID, 1, t.Get(rowID, 1)+1)
+	})
+	c.sess.Commit(tx)
+}
+
+func (c *client) insert() {
+	tx := c.sess.Begin()
+	id := c.d.Growing.NominalRows()
+	c.sess.Insert(tx, c.d.Growing, c.d.row(9, id),
+		[]*access.BTIndex{c.d.PKGrowing, c.d.IXGrowing}, nil)
+	c.sess.Commit(tx)
+}
+
+func (c *client) del() {
+	tx := c.sess.Begin()
+	n := c.d.Growing.NominalRows()
+	nid := c.g.Int64n(n)
+	c.sess.Delete(tx, c.d.PKGrowing, c.key(c.d.Growing, nid), nid)
+	c.sess.Commit(tx)
+}
+
+// RunClients spawns the closed-loop client threads (the paper uses 128)
+// until the given simulated time or server stop.
+func RunClients(srv *engine.Server, d *Dataset, clients int, mix Mix, until sim.Time, st *Stats) {
+	if st.ByType == nil {
+		st.ByType = make(map[string]int)
+	}
+	type entry struct {
+		name string
+		w    float64
+		fn   func(*client)
+	}
+	entries := []entry{
+		{"PointRead", mix.PointRead, (*client).pointRead},
+		{"RangeRead", mix.RangeRead, (*client).rangeRead},
+		{"JoinRead", mix.JoinRead, (*client).joinRead},
+		{"Update", mix.Update, (*client).update},
+		{"Insert", mix.Insert, (*client).insert},
+		{"Delete", mix.Delete, (*client).del},
+	}
+	var totalW float64
+	for _, e := range entries {
+		totalW += e.w
+	}
+	for i := 0; i < clients; i++ {
+		srv.Sim.Spawn("asdb-client", func(p *sim.Proc) {
+			c := &client{
+				d:    d,
+				sess: srv.NewSession(p),
+				g:    srv.Sim.RNG().Fork(),
+				zBig: sim.NewZipf(d.Big.NominalRows(), 0.6),
+			}
+			for !srv.Stopped() && p.Now() < until {
+				pick := c.g.Float64() * totalW
+				for _, e := range entries {
+					pick -= e.w
+					if pick <= 0 {
+						e.fn(c)
+						st.ByType[e.name]++
+						st.Total++
+						break
+					}
+				}
+			}
+		})
+	}
+}

@@ -1,0 +1,73 @@
+package asdb
+
+import (
+	"testing"
+
+	"repro/internal/engine"
+	"repro/internal/sim"
+)
+
+func tinyServer(t *testing.T, sf int) (*engine.Server, *Dataset) {
+	t.Helper()
+	d := Build(Config{SF: sf, ActualRowsPerSF: 10, Seed: 3})
+	srv := engine.NewServer(engine.Config{Seed: 5})
+	srv.AttachDB(d.DB)
+	srv.WarmBufferPool()
+	srv.Start()
+	return srv, d
+}
+
+func TestScalingTables(t *testing.T) {
+	d := Build(Config{SF: 10, ActualRowsPerSF: 10})
+	if d.Big.ActualRows() != 100 {
+		t.Fatalf("big actual = %d", d.Big.ActualRows())
+	}
+	if d.Big.NominalRows() != 10*bigRowsPerSF {
+		t.Fatalf("big nominal = %d", d.Big.NominalRows())
+	}
+	d2 := Build(Config{SF: 30, ActualRowsPerSF: 10})
+	if d2.DB.DataBytes() <= d.DB.DataBytes() {
+		t.Fatal("data not scaling with SF")
+	}
+	// Index share is tiny (Table 2: 0.21 GB on 51 GB).
+	if ratio := float64(d.DB.IndexBytes()) / float64(d.DB.DataBytes()); ratio > 0.05 {
+		t.Fatalf("index/data ratio = %.3f, want small", ratio)
+	}
+}
+
+func TestTable2SizeAnchor(t *testing.T) {
+	// SF 2000 should land near the paper's 51.13 GB (within 25%).
+	d := Build(Config{SF: 2000, ActualRowsPerSF: 2})
+	gb := float64(d.DB.DataBytes()) / (1 << 30)
+	if gb < 38 || gb > 64 {
+		t.Fatalf("SF 2000 data = %.2f GB, want ~51 GB", gb)
+	}
+}
+
+func TestMixRunsAllOps(t *testing.T) {
+	srv, d := tinyServer(t, 10)
+	var st Stats
+	until := sim.Time(4 * sim.Second)
+	RunClients(srv, d, 16, DefaultMix(), until, &st)
+	srv.Sim.Run(until)
+	srv.Stop()
+	srv.Sim.Run(until + sim.Time(120*sim.Second))
+	if st.Total < 50 {
+		t.Fatalf("only %d ops", st.Total)
+	}
+	for _, name := range []string{"PointRead", "Update", "Insert", "Delete"} {
+		if st.ByType[name] == 0 {
+			t.Fatalf("op %s never ran: %v", name, st.ByType)
+		}
+	}
+	if srv.Ctr.TxnCommits == 0 || srv.Ctr.SSDWriteBytes == 0 {
+		t.Fatal("no commits or writes")
+	}
+	if w := srv.Locks.WaitingLongest(srv.Sim.Now()); w > 0 {
+		t.Fatalf("stuck lock waiter: %v", w)
+	}
+	// Growing table grew.
+	if d.Growing.NominalRows() <= int64(d.Cfg.SF)*growInitPerSF {
+		t.Fatal("growing table did not grow")
+	}
+}

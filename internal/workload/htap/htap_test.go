@@ -1,0 +1,41 @@
+package htap
+
+import (
+	"testing"
+
+	"repro/internal/engine"
+	"repro/internal/sim"
+)
+
+func TestHybridRunsBothComponents(t *testing.T) {
+	d := Build(Config{Customers: 300, ActualTradesPerCustomer: 4, Seed: 3})
+	if d.TradeCSI == nil {
+		t.Fatal("HTAP dataset must have the trade columnstore")
+	}
+	srv := engine.NewServer(engine.Config{Seed: 7})
+	srv.AttachDB(d.DB)
+	srv.WarmBufferPool()
+	srv.Start()
+	var st Stats
+	until := sim.Time(2 * sim.Second)
+	Run(srv, d, 20, until, &st)
+	srv.Sim.Run(until)
+	srv.Stop()
+	srv.Sim.Run(until + sim.Time(300*sim.Second))
+	if st.OLTP.Total < 100 {
+		t.Fatalf("OLTP transactions = %d", st.OLTP.Total)
+	}
+	if st.DSSPasses < 1 {
+		t.Fatalf("DSS passes = %d", st.DSSPasses)
+	}
+	if srv.Ctr.QueriesDone < int64(st.DSSPasses) {
+		t.Fatal("query counter mismatch")
+	}
+	// Trickle inserts landed in the columnstore delta or were compressed.
+	if d.TradeCSI.Ix.DeltaNominalRows() == 0 && d.TradeCSI.Ix.Segments() == 0 {
+		t.Fatal("no trickle activity visible in columnstore")
+	}
+	if w := srv.Locks.WaitingLongest(srv.Sim.Now()); w > 0 {
+		t.Fatalf("stuck waiter: %v", w)
+	}
+}

@@ -1,0 +1,98 @@
+package tpce
+
+import (
+	"repro/internal/engine"
+	"repro/internal/sim"
+)
+
+// Mix is the transaction mix in percent. The default follows the TPC-E
+// customer-emulator weights, with Trade-Result arriving at the market
+// rate (paired with orders) and Market-Feed folded into Trade-Result.
+type Mix struct {
+	TradeOrder       float64
+	TradeResult      float64
+	TradeStatus      float64
+	CustomerPosition float64
+	MarketWatch      float64
+	SecurityDetail   float64
+	TradeLookup      float64
+	TradeUpdate      float64
+	BrokerVolume     float64
+	MarketFeed       float64
+	DataMaintenance  float64
+}
+
+// DefaultMix returns the spec-derived weights.
+func DefaultMix() Mix {
+	return Mix{
+		TradeOrder:       10.1,
+		TradeResult:      10.0,
+		TradeStatus:      19.0,
+		CustomerPosition: 13.0,
+		MarketWatch:      17.0,
+		SecurityDetail:   14.0,
+		TradeLookup:      8.0,
+		TradeUpdate:      2.0,
+		BrokerVolume:     4.9,
+		MarketFeed:       1.0,
+		DataMaintenance:  0.2,
+	}
+}
+
+// Stats counts executed transactions by type.
+type Stats struct {
+	ByType map[string]int
+	Total  int
+}
+
+// RunUsers spawns `users` closed-loop terminals running the mix until the
+// given simulated time (or server stop). The caller advances the clock.
+func RunUsers(srv *engine.Server, d *Dataset, users int, mix Mix, until sim.Time, st *Stats) {
+	if st.ByType == nil {
+		st.ByType = make(map[string]int)
+	}
+	type entry struct {
+		name string
+		w    float64
+		fn   func(*user)
+	}
+	entries := []entry{
+		{"TradeOrder", mix.TradeOrder, (*user).tradeOrder},
+		{"TradeResult", mix.TradeResult, (*user).tradeResult},
+		{"TradeStatus", mix.TradeStatus, (*user).tradeStatus},
+		{"CustomerPosition", mix.CustomerPosition, (*user).customerPosition},
+		{"MarketWatch", mix.MarketWatch, (*user).marketWatch},
+		{"SecurityDetail", mix.SecurityDetail, (*user).securityDetail},
+		{"TradeLookup", mix.TradeLookup, (*user).tradeLookup},
+		{"TradeUpdate", mix.TradeUpdate, (*user).tradeUpdate},
+		{"BrokerVolume", mix.BrokerVolume, (*user).brokerVolume},
+		{"MarketFeed", mix.MarketFeed, (*user).marketFeed},
+		{"DataMaintenance", mix.DataMaintenance, (*user).dataMaintenance},
+	}
+	var totalW float64
+	for _, e := range entries {
+		totalW += e.w
+	}
+	for i := 0; i < users; i++ {
+		srv.Sim.Spawn("tpce-user", func(p *sim.Proc) {
+			u := &user{
+				d:    d,
+				sess: srv.NewSession(p),
+				g:    srv.Sim.RNG().Fork(),
+				zA:   sim.NewZipf(d.NAcct(), 0.55),
+			}
+			for !srv.Stopped() && p.Now() < until {
+				pick := u.g.Float64() * totalW
+				for _, e := range entries {
+					pick -= e.w
+					if pick <= 0 {
+						e.fn(u)
+						st.ByType[e.name]++
+						st.Total++
+						break
+					}
+				}
+			}
+		})
+	}
+}

@@ -1,0 +1,180 @@
+package tpce
+
+import (
+	"repro/internal/access"
+	"repro/internal/exec"
+	"repro/internal/opt"
+	"repro/internal/sim"
+)
+
+// Analytical queries for the HTAP configuration (Section 2.3): four
+// distinct queries over the large, fast-growing trade table (through its
+// updatable columnstore index), run sequentially by the analytical user.
+
+// AnalyticalQuery returns query n (0..3).
+func (d *Dataset) AnalyticalQuery(n int, g *sim.RNG) *opt.LNode {
+	switch n % 4 {
+	case 0:
+		return d.qaVolumeBySector(g)
+	case 1:
+		return d.qaBrokerCommission(g)
+	case 2:
+		return d.qaDailyActivity(g)
+	default:
+		return d.qaBigAccounts(g)
+	}
+}
+
+// NumAnalytical is the number of HTAP analytical queries.
+const NumAnalytical = 4
+
+// qaVolumeBySector: total traded volume and value by company sector
+// (trade ⋈ security ⋈ company, aggregate).
+func (d *Dataset) qaVolumeBySector(g *sim.RNG) *opt.LNode {
+	tSymb := d.Trade.Schema.Col("t_s_symb")
+	tQty := d.Trade.Schema.Col("t_qty")
+	tPrice := d.Trade.Schema.Col("t_trade_price")
+	trade := &opt.LNode{
+		Kind: opt.LScan, Heap: access.Heap{T: d.Trade}, CSI: d.TradeCSI,
+		Proj: []int{tSymb, tQty, tPrice}, Sel: 1, Name: "trade",
+	}
+	sec := &opt.LNode{
+		Kind: opt.LScan, Heap: access.Heap{T: d.Security},
+		CSI:  d.DB.CSIOf(d.Security),
+		Proj: []int{d.Security.Schema.Col("s_symb"), d.Security.Schema.Col("s_co_id")},
+		Sel:  1, Name: "security",
+	}
+	co := &opt.LNode{
+		Kind: opt.LScan, Heap: access.Heap{T: d.Company},
+		CSI:  d.DB.CSIOf(d.Company),
+		Proj: []int{d.Company.Schema.Col("co_id"), d.Company.Schema.Col("co_sector")},
+		Sel:  1, Name: "company",
+	}
+	j1 := &opt.LNode{
+		Kind: opt.LJoin, Left: trade, Right: sec,
+		LeftKeys: []int{0}, RightKeys: []int{0},
+		JoinType: exec.InnerJoin, FK: true,
+		InnerIndex: d.PKSecurity, InnerProj: sec.Proj, Name: "t_sec",
+	}
+	// Layout: t_symb, t_qty, t_price, s_symb, s_co_id.
+	j2 := &opt.LNode{
+		Kind: opt.LJoin, Left: j1, Right: co,
+		LeftKeys: []int{4}, RightKeys: []int{0},
+		JoinType: exec.InnerJoin, FK: true,
+		InnerIndex: d.PKCompany, InnerProj: co.Proj, Name: "sec_co",
+	}
+	// Layout: + co_id, co_sector (5, 6).
+	proj := &opt.LNode{
+		Kind: opt.LProject, Left: j2,
+		Exprs: []func(exec.Row) int64{
+			func(r exec.Row) int64 { return r[6] },              // sector
+			func(r exec.Row) int64 { return r[1] },              // qty
+			func(r exec.Row) int64 { return r[1] * r[2] / 100 }, // value
+		},
+		Name: "compute",
+	}
+	agg := &opt.LNode{
+		Kind: opt.LAgg, Left: proj,
+		Groups: []int{0},
+		Aggs: []exec.AggSpec{
+			{Kind: exec.AggSum, Col: 1}, {Kind: exec.AggSum, Col: 2}, {Kind: exec.AggCount},
+		},
+		NGroups: 12, Name: "by_sector",
+	}
+	return &opt.LNode{Kind: opt.LSort, Left: agg, Keys: []exec.SortKey{{Col: 0}}, Name: "order"}
+}
+
+// qaBrokerCommission: top brokers by commissions on completed trades.
+func (d *Dataset) qaBrokerCommission(g *sim.RNG) *opt.LNode {
+	tCA := d.Trade.Schema.Col("t_ca_id")
+	tComm := d.Trade.Schema.Col("t_comm")
+	tSt := d.Trade.Schema.Col("t_st")
+	trade := &opt.LNode{
+		Kind: opt.LScan, Heap: access.Heap{T: d.Trade}, CSI: d.TradeCSI,
+		Proj: []int{tCA, tComm},
+		Pred: func(r exec.Row) bool { return r[tSt] == 2 }, NPred: 1,
+		PredCols: []int{tSt}, Sel: 0.8, Name: "trade",
+	}
+	acct := &opt.LNode{
+		Kind: opt.LScan, Heap: access.Heap{T: d.Account},
+		CSI:  d.DB.CSIOf(d.Account),
+		Proj: []int{d.Account.Schema.Col("ca_id"), d.Account.Schema.Col("ca_b_id")},
+		Sel:  1, Name: "account",
+	}
+	j := &opt.LNode{
+		Kind: opt.LJoin, Left: trade, Right: acct,
+		LeftKeys: []int{0}, RightKeys: []int{0},
+		JoinType: exec.InnerJoin, FK: true,
+		InnerIndex: d.PKAccount, InnerProj: acct.Proj, Name: "t_acct",
+	}
+	// Layout: t_ca_id, t_comm, ca_id, ca_b_id.
+	agg := &opt.LNode{
+		Kind: opt.LAgg, Left: j,
+		Groups:  []int{3},
+		Aggs:    []exec.AggSpec{{Kind: exec.AggSum, Col: 1}, {Kind: exec.AggCount}},
+		NGroups: float64(d.NBroker()), Name: "by_broker",
+	}
+	return &opt.LNode{
+		Kind: opt.LTop, Left: agg,
+		Keys: []exec.SortKey{{Col: 1, Desc: true}}, Limit: 20, Name: "top_brokers",
+	}
+}
+
+// qaDailyActivity: trade counts and volume by day for a recent window.
+func (d *Dataset) qaDailyActivity(g *sim.RNG) *opt.LNode {
+	tDts := d.Trade.Schema.Col("t_dts")
+	tQty := d.Trade.Schema.Col("t_qty")
+	n := d.Trade.NominalRows()
+	lo := n * 3 / 4 // recent quarter of the history
+	trade := &opt.LNode{
+		Kind: opt.LScan, Heap: access.Heap{T: d.Trade}, CSI: d.TradeCSI,
+		Proj:  []int{tDts, tQty},
+		Pred:  func(r exec.Row) bool { return r[tDts] >= lo },
+		NPred: 1, PredCols: []int{tDts}, Sel: 0.25, Name: "trade",
+	}
+	proj := &opt.LNode{
+		Kind: opt.LProject, Left: trade,
+		Exprs: []func(exec.Row) int64{
+			func(r exec.Row) int64 { return r[0] / 1000 }, // bucket
+			func(r exec.Row) int64 { return r[1] },
+		},
+		Name: "bucket",
+	}
+	agg := &opt.LNode{
+		Kind: opt.LAgg, Left: proj,
+		Groups:  []int{0},
+		Aggs:    []exec.AggSpec{{Kind: exec.AggCount}, {Kind: exec.AggSum, Col: 1}},
+		NGroups: float64(n / 1000 / 4), Name: "by_day",
+	}
+	return &opt.LNode{Kind: opt.LSort, Left: agg, Keys: []exec.SortKey{{Col: 0}}, Name: "order"}
+}
+
+// qaBigAccounts: accounts with the largest traded value (trade grouped by
+// account — a large aggregate).
+func (d *Dataset) qaBigAccounts(g *sim.RNG) *opt.LNode {
+	tCA := d.Trade.Schema.Col("t_ca_id")
+	tQty := d.Trade.Schema.Col("t_qty")
+	tPrice := d.Trade.Schema.Col("t_trade_price")
+	trade := &opt.LNode{
+		Kind: opt.LScan, Heap: access.Heap{T: d.Trade}, CSI: d.TradeCSI,
+		Proj: []int{tCA, tQty, tPrice}, Sel: 1, Name: "trade",
+	}
+	proj := &opt.LNode{
+		Kind: opt.LProject, Left: trade,
+		Exprs: []func(exec.Row) int64{
+			func(r exec.Row) int64 { return r[0] },
+			func(r exec.Row) int64 { return r[1] * r[2] / 100 },
+		},
+		Name: "value",
+	}
+	agg := &opt.LNode{
+		Kind: opt.LAgg, Left: proj,
+		Groups:  []int{0},
+		Aggs:    []exec.AggSpec{{Kind: exec.AggSum, Col: 1}},
+		NGroups: float64(d.NAcct()), OutWeight: 1, Name: "by_account",
+	}
+	return &opt.LNode{
+		Kind: opt.LTop, Left: agg,
+		Keys: []exec.SortKey{{Col: 1, Desc: true}}, Limit: 50, Name: "top_accounts",
+	}
+}

@@ -1,0 +1,62 @@
+package tpch
+
+import (
+	"repro/internal/engine"
+	"repro/internal/sim"
+)
+
+// StreamStats reports one throughput run.
+type StreamStats struct {
+	QueriesDone int
+	Elapsed     sim.Duration
+}
+
+// QPS returns queries per second.
+func (s StreamStats) QPS() float64 {
+	if s.Elapsed <= 0 {
+		return 0
+	}
+	return float64(s.QueriesDone) / s.Elapsed.Seconds()
+}
+
+// RunStreams drives `streams` concurrent query streams, each running the
+// 22 queries in an independent random order repeatedly, until the
+// simulation reaches `until`. Call after srv.Start; the caller advances
+// the simulation clock.
+func RunStreams(srv *engine.Server, d *Dataset, streams int, until sim.Time, done *StreamStats) {
+	for i := 0; i < streams; i++ {
+		srv.Sim.Spawn("tpch-stream", func(p *sim.Proc) {
+			g := srv.Sim.RNG().Fork()
+			for !srv.Stopped() {
+				for _, qi := range g.Perm(NumQueries) {
+					if srv.Stopped() || p.Now() >= until {
+						return
+					}
+					q := d.Query(qi+1, g)
+					srv.RunQuery(p, q, 0, 0)
+					done.QueriesDone++
+					done.Elapsed = sim.Duration(p.Now())
+				}
+			}
+		})
+	}
+}
+
+// QueryTiming runs a single query once and returns its elapsed time
+// (Section 7 / Section 8 single-stream experiments).
+func QueryTiming(srv *engine.Server, d *Dataset, qn, maxdop int, grantPct float64, g *sim.RNG) sim.Duration {
+	var elapsed sim.Duration
+	done := false
+	srv.Sim.Spawn("tpch-single", func(p *sim.Proc) {
+		q := d.Query(qn, g)
+		res := srv.RunQuery(p, q, maxdop, grantPct)
+		elapsed = res.Elapsed
+		done = true
+	})
+	// Advance in bounded hops: background procs (sampler, checkpointer)
+	// generate events forever, so an unbounded Run would never return.
+	for hop := 0; hop < 10000 && !done; hop++ {
+		srv.Sim.Run(srv.Sim.Now() + sim.Time(60*sim.Second))
+	}
+	return elapsed
+}

@@ -1,0 +1,350 @@
+package tpch
+
+import (
+	"strings"
+
+	"repro/internal/exec"
+	"repro/internal/opt"
+	"repro/internal/sim"
+)
+
+// Q12: shipping modes and order priority. Lineitem filtered on two ship
+// modes and date sanity joins orders; counts split by priority class.
+func (d *Dataset) q12(g *sim.RNG) *opt.LNode {
+	mi := g.Intn(len(modes))
+	mj := (mi + 1 + g.Intn(len(modes)-1)) % len(modes)
+	yr := 1993 + g.Int64n(5)
+	lo, hi := Date(yr, 1, 1), Date(yr+1, 1, 1)
+	lm := d.L.Schema.Col("l_shipmode")
+	lc := d.L.Schema.Col("l_commitdate")
+	lr := d.L.Schema.Col("l_receiptdate")
+	ls := d.L.Schema.Col("l_shipdate")
+	m1 := code(d.L.Pool(lm), modes[mi])
+	m2 := code(d.L.Pool(lm), modes[mj])
+	li := d.scan(d.L, []string{"l_orderkey", "l_shipmode"},
+		func(r exec.Row) bool {
+			return (r[lm] == m1 || r[lm] == m2) &&
+				r[lc] < r[lr] && r[ls] < r[lc] &&
+				r[lr] >= lo && r[lr] < hi
+		}, 4, []string{"l_shipmode", "l_commitdate", "l_receiptdate", "l_shipdate"},
+		(2.0/7)*0.25*(365.0/float64(DateHi)))
+	ord := d.scan(d.O, []string{"o_orderkey", "o_orderpriority"}, nil, 0, nil, 1)
+
+	urgent := code(d.O.Pool(d.O.Schema.Col("o_orderpriority")), prios[0])
+	high := code(d.O.Pool(d.O.Schema.Col("o_orderpriority")), prios[1])
+	b := li.joinFK(ord, "l_orderkey", "o_orderkey", d.PKOrders)
+	op := b.pos("o_orderpriority")
+	b = b.proj(colE("l_shipmode"),
+		calc("high_line", func(r exec.Row) int64 {
+			if r[op] == urgent || r[op] == high {
+				return 1
+			}
+			return 0
+		}),
+		calc("low_line", func(r exec.Row) int64 {
+			if r[op] == urgent || r[op] == high {
+				return 0
+			}
+			return 1
+		}))
+	return b.groupBy([]string{"l_shipmode"},
+		[]aggSpec{sum("high_line_count", "high_line"), sum("low_line_count", "low_line")}, 2, 1).
+		orderBy("l_shipmode").node
+}
+
+// Q13: customer distribution. Orders (excluding a comment pattern) are
+// counted per customer in a very large hash aggregate, then the counts
+// are histogrammed. (Zero-order customers are omitted; see DESIGN.md.)
+func (d *Dataset) q13(g *sim.RNG) *opt.LNode {
+	w1 := commentWords[g.Intn(len(commentWords))]
+	w2 := commentWords[g.Intn(len(commentWords))]
+	oc := d.O.Schema.Col("o_comment")
+	excl := d.O.Pool(oc).Match(func(s string) bool {
+		i := strings.Index(s, w1)
+		return i >= 0 && strings.Contains(s[i:], w2)
+	})
+	ord := d.scan(d.O, []string{"o_custkey"},
+		func(r exec.Row) bool { return !excl[r[oc]] }, 1, []string{"o_comment"}, 0.98)
+	counts := ord.groupBy([]string{"o_custkey"}, []aggSpec{cnt("c_count")}, d.nomC(), d.K)
+	return counts.groupBy([]string{"c_count"}, []aggSpec{cnt("custdist")}, 50, 1).
+		orderByDesc([]string{"custdist", "c_count"}, []bool{true, true}).node
+}
+
+// Q14: promotion effect for one month of lineitem joined to part.
+func (d *Dataset) q14(g *sim.RNG) *opt.LNode {
+	lo := Date(1993, 1, 1) + g.Int64n(60)*30
+	hi := lo + 30
+	sd := d.L.Schema.Col("l_shipdate")
+	pt := d.P.Schema.Col("p_type")
+	promo := d.P.Pool(pt).MatchPrefix("PROMO")
+
+	li := d.scan(d.L, []string{"l_partkey", "l_extendedprice", "l_discount"},
+		func(r exec.Row) bool { return r[sd] >= lo && r[sd] < hi },
+		1, []string{"l_shipdate"}, 30.0/float64(DateHi))
+	part := d.scan(d.P, []string{"p_partkey", "p_type"}, nil, 0, nil, 1)
+	b := li.joinFK(part, "l_partkey", "p_partkey", d.PKPart)
+	ep, disc, ptp := b.pos("l_extendedprice"), b.pos("l_discount"), b.pos("p_type")
+	b = b.proj(
+		calc("rev", func(r exec.Row) int64 { return r[ep] * (100 - r[disc]) / 100 }),
+		calc("promo_rev", func(r exec.Row) int64 {
+			if promo[r[ptp]] {
+				return r[ep] * (100 - r[disc]) / 100
+			}
+			return 0
+		}))
+	return b.groupBy(nil, []aggSpec{sum("promo_revenue", "promo_rev"), sum("total_revenue", "rev")}, 1, 1).node
+}
+
+// Q15: top supplier. Quarterly revenue per supplier; the max-revenue
+// threshold comes from plan-time statistics (the view's second pass).
+func (d *Dataset) q15(g *sim.RNG) *opt.LNode {
+	lo := Date(1993, 1, 1) + g.Int64n(20)*90
+	hi := lo + 90
+	sd := d.L.Schema.Col("l_shipdate")
+	// Plan-time max revenue per supplier for the outer filter.
+	rev := make(map[int64]int64)
+	lsupp, lship, lep, ldisc := d.L.Col(2), d.L.Col(10), d.L.Col(5), d.L.Col(6)
+	var maxRev int64
+	for i := range lsupp {
+		if lship[i] >= lo && lship[i] < hi {
+			rev[lsupp[i]] += lep[i] * (100 - ldisc[i]) / 100
+		}
+	}
+	for _, v := range rev {
+		if v > maxRev {
+			maxRev = v
+		}
+	}
+	threshold := maxRev * d.K * 99 / 100
+
+	li := d.scan(d.L, []string{"l_suppkey", "l_extendedprice", "l_discount"},
+		func(r exec.Row) bool { return r[sd] >= lo && r[sd] < hi },
+		1, []string{"l_shipdate"}, 90.0/float64(DateHi))
+	b := li.proj(colE("l_suppkey"),
+		calc("rev", func(r exec.Row) int64 { return r[1] * (100 - r[2]) / 100 }))
+	b = b.groupBy([]string{"l_suppkey"}, []aggSpec{sum("total_revenue", "rev")}, d.nomS(), d.K)
+	tr := b.pos("total_revenue")
+	b = b.filter("is_max", 1e-4, 1, func(r exec.Row) bool { return r[tr] >= threshold })
+	sup := d.scan(d.S, []string{"s_suppkey", "s_name"}, nil, 0, nil, 1)
+	return b.joinFK(sup, "l_suppkey", "s_suppkey", d.PKSupplier).
+		orderBy("s_suppkey").node
+}
+
+// Q16: parts/supplier relationship. Partsupp joined to filtered parts,
+// excluding suppliers with complaint comments.
+func (d *Dataset) q16(g *sim.RNG) *opt.LNode {
+	brandCode := code(d.P.Pool(d.P.Schema.Col("p_brand")), "Brand#45")
+	syl := typeSyl2[g.Intn(5)]
+	pt := d.P.Schema.Col("p_type")
+	pb := d.P.Schema.Col("p_brand")
+	psz := d.P.Schema.Col("p_size")
+	typeSet := d.P.Pool(pt).Match(func(s string) bool { return !strings.Contains(s, syl) })
+	sizes := map[int64]bool{}
+	for len(sizes) < 8 {
+		sizes[g.Int64n(50)+1] = true
+	}
+	sc := d.S.Schema.Col("s_comment")
+	complaints := d.S.Pool(sc).Match(func(s string) bool {
+		return strings.Contains(s, "special") && strings.Contains(s, "requests")
+	})
+
+	part := d.scan(d.P, []string{"p_partkey", "p_brand", "p_type", "p_size"},
+		func(r exec.Row) bool {
+			return r[pb] != brandCode && typeSet[r[pt]] && sizes[r[psz]]
+		}, 3, []string{"p_brand", "p_type", "p_size"}, 0.8*(8.0/50))
+	ps := d.scan(d.PS, []string{"ps_partkey", "ps_suppkey"}, nil, 0, nil, 1)
+	bad := d.scan(d.S, []string{"s_suppkey"},
+		func(r exec.Row) bool { return complaints[r[sc]] }, 1, []string{"s_comment"}, 0.01)
+
+	b := ps.joinFK(part, "ps_partkey", "p_partkey", d.PKPart).
+		anti(bad, []string{"ps_suppkey"}, []string{"s_suppkey"})
+	return b.groupBy([]string{"p_brand", "p_type", "p_size"},
+		[]aggSpec{cnt("supplier_cnt")}, 18000, 1).
+		orderByDesc([]string{"supplier_cnt", "p_brand"}, []bool{true, false}).node
+}
+
+// Q17: small-quantity-order revenue: lineitems below 20% of their part's
+// average quantity, for one brand and container.
+func (d *Dataset) q17(g *sim.RNG) *opt.LNode {
+	brand := "Brand#" + string(rune('1'+g.Intn(5))) + string(rune('1'+g.Intn(5)))
+	container := []string{"SM CASE", "MED BOX", "LG JAR", "JUMBO PKG"}[g.Intn(4)]
+	pb := d.P.Schema.Col("p_brand")
+	pc := d.P.Schema.Col("p_container")
+	brandCode := code(d.P.Pool(pb), brand)
+	contCode := code(d.P.Pool(pc), container)
+
+	part := d.scan(d.P, []string{"p_partkey"},
+		func(r exec.Row) bool { return r[pb] == brandCode && r[pc] == contCode },
+		2, []string{"p_brand", "p_container"}, 1.0/(25*40))
+	li := d.scan(d.L, []string{"l_partkey", "l_quantity", "l_extendedprice"}, nil, 0, nil, 1)
+	avgs := d.scan(d.L, []string{"l_partkey", "l_quantity"}, nil, 0, nil, 1).
+		groupBy([]string{"l_partkey"}, []aggSpec{avg("avg_qty", "l_quantity")}, d.nomP(), d.K)
+
+	b := li.semi(part, []string{"l_partkey"}, []string{"p_partkey"}).
+		join(avgs, []string{"l_partkey"}, []string{"l_partkey"})
+	lq, aq := b.pos("l_quantity"), b.pos("avg_qty")
+	b = b.filter("below_avg", 0.2, 1, func(r exec.Row) bool { return r[lq]*5 < r[aq] })
+	ep := b.pos("l_extendedprice")
+	b = b.proj(calc("price", func(r exec.Row) int64 { return r[ep] / 7 }))
+	return b.groupBy(nil, []aggSpec{sum("avg_yearly", "price")}, 1, 1).node
+}
+
+// Q18: large volume customers. The signature memory hog: a hash
+// aggregate over every order's lineitems, filtered to huge orders, then
+// joined back. The paper finds Q18 the most grant-sensitive query.
+func (d *Dataset) q18(g *sim.RNG) *opt.LNode {
+	qty := int64(312+g.Intn(3)) * 100
+	big := d.scan(d.L, []string{"l_orderkey", "l_quantity"}, nil, 0, nil, 1).
+		groupBy([]string{"l_orderkey"}, []aggSpec{sum("sum_qty", "l_quantity")}, d.nomO(), d.K)
+	sq := big.pos("sum_qty")
+	big = big.filter("huge", 0.005, 1, func(r exec.Row) bool { return r[sq] > qty })
+
+	ord := d.scan(d.O, []string{"o_orderkey", "o_custkey", "o_orderdate", "o_totalprice"}, nil, 0, nil, 1)
+	cust := d.scan(d.C, []string{"c_custkey", "c_name"}, nil, 0, nil, 1)
+	b := big.join(ord, []string{"l_orderkey"}, []string{"o_orderkey"}).
+		joinFK(cust, "o_custkey", "c_custkey", d.PKCustomer)
+	return b.groupBy(
+		[]string{"c_name", "c_custkey", "o_orderkey", "o_orderdate", "o_totalprice"},
+		[]aggSpec{sum("total_qty", "sum_qty")}, d.nomO()*0.005, d.K).
+		top(100, []string{"o_totalprice", "o_orderdate"}, []bool{true, false}).node
+}
+
+// Q19: discounted revenue, a disjunction of three brand/container/
+// quantity envelopes evaluated after the part join.
+func (d *Dataset) q19(g *sim.RNG) *opt.LNode {
+	q1 := int64(g.Intn(10)+1) * 100
+	q2 := int64(g.Intn(10)+10) * 100
+	q3 := int64(g.Intn(10)+20) * 100
+	pb := d.P.Schema.Col("p_brand")
+	pc := d.P.Schema.Col("p_container")
+	brandCodes := make([]int64, 3)
+	for i := range brandCodes {
+		b := "Brand#" + string(rune('1'+g.Intn(5))) + string(rune('1'+g.Intn(5)))
+		brandCodes[i] = code(d.P.Pool(pb), b)
+	}
+	smSet := d.P.Pool(pc).MatchPrefix("SM")
+	medSet := d.P.Pool(pc).MatchPrefix("MED")
+	lgSet := d.P.Pool(pc).MatchPrefix("LG")
+
+	li := d.scan(d.L, []string{"l_partkey", "l_quantity", "l_extendedprice", "l_discount"},
+		nil, 0, nil, 1)
+	part := d.scan(d.P, []string{"p_partkey", "p_brand", "p_container", "p_size"}, nil, 0, nil, 1)
+	b := li.joinFK(part, "l_partkey", "p_partkey", d.PKPart)
+	lq := b.pos("l_quantity")
+	bb, cc, ss := b.pos("p_brand"), b.pos("p_container"), b.pos("p_size")
+	b = b.filter("envelopes", 0.002, 3, func(r exec.Row) bool {
+		switch {
+		case r[bb] == brandCodes[0] && smSet[r[cc]] && r[lq] >= q1 && r[lq] <= q1+1000 && r[ss] <= 5:
+			return true
+		case r[bb] == brandCodes[1] && medSet[r[cc]] && r[lq] >= q2 && r[lq] <= q2+1000 && r[ss] <= 10:
+			return true
+		case r[bb] == brandCodes[2] && lgSet[r[cc]] && r[lq] >= q3 && r[lq] <= q3+1000 && r[ss] <= 15:
+			return true
+		}
+		return false
+	})
+	ep, disc := b.pos("l_extendedprice"), b.pos("l_discount")
+	b = b.proj(calc("rev", func(r exec.Row) int64 { return r[ep] * (100 - r[disc]) / 100 }))
+	return b.groupBy(nil, []aggSpec{sum("revenue", "rev")}, 1, 1).node
+}
+
+// Q20: potential part promotion (Listing 1). Suppliers in one nation
+// holding excess stock of parts with a given name prefix. The part join
+// carries an index alternative — this is the query whose plan shape
+// flips with DOP and scale factor (Figure 7).
+func (d *Dataset) q20(g *sim.RNG) *opt.LNode {
+	color := colors[g.Intn(len(colors))]
+	nation := g.Int64n(25)
+	yr := 1993 + g.Int64n(5)
+	lo, hi := Date(yr, 1, 1), Date(yr+1, 1, 1)
+	pn := d.P.Schema.Col("p_name")
+	nameSet := d.P.Pool(pn).MatchPrefix(color)
+	sd := d.L.Schema.Col("l_shipdate")
+	sNat := d.S.Schema.Col("s_nationkey")
+
+	part := d.scan(d.P, []string{"p_partkey"},
+		func(r exec.Row) bool { return nameSet[r[pn]] }, 1, []string{"p_name"},
+		1.0/float64(len(colors)))
+	ps := d.scan(d.PS, []string{"ps_partkey", "ps_suppkey", "ps_availqty"}, nil, 0, nil, 1)
+	shipped := d.scan(d.L, []string{"l_partkey", "l_suppkey", "l_quantity"},
+		func(r exec.Row) bool { return r[sd] >= lo && r[sd] < hi },
+		1, []string{"l_shipdate"}, 365.0/float64(DateHi)).
+		groupBy([]string{"l_partkey", "l_suppkey"}, []aggSpec{sum("sum_qty", "l_quantity")},
+			d.nomPS()*0.8, d.K)
+
+	// The filtered parts drive the partsupp access: the optimizer can
+	// realize it as a hash join (scan partsupp) or as index nested loops
+	// through pk_partsupp — the plan-shape flip of Figure 7.
+	b := part.joinIdx(ps, []string{"p_partkey"}, []string{"ps_partkey"}, d.PKPartsupp, 4).
+		join(shipped, []string{"ps_partkey", "ps_suppkey"}, []string{"l_partkey", "l_suppkey"})
+	aq, sq := b.pos("ps_availqty"), b.pos("sum_qty")
+	b = b.filter("excess", 0.5, 1, func(r exec.Row) bool { return r[aq]*100 > r[sq]/2 })
+
+	sup := d.scan(d.S, []string{"s_suppkey", "s_name", "s_address", "s_nationkey"},
+		func(r exec.Row) bool { return r[sNat] == nation }, 1, []string{"s_nationkey"}, 1.0/25)
+	final := sup.semi(b, []string{"s_suppkey"}, []string{"ps_suppkey"})
+	return final.orderBy("s_name").node
+}
+
+// Q21: suppliers who kept orders waiting: a multi-way self-join of
+// lineitem with semi and anti branches.
+func (d *Dataset) q21(g *sim.RNG) *opt.LNode {
+	nation := g.Int64n(25)
+	sNat := d.S.Schema.Col("s_nationkey")
+	lr := d.L.Schema.Col("l_receiptdate")
+	lc := d.L.Schema.Col("l_commitdate")
+	oStat := d.O.Schema.Col("o_orderstatus")
+
+	l1 := d.scan(d.L, []string{"l_orderkey", "l_suppkey"},
+		func(r exec.Row) bool { return r[lr] > r[lc] },
+		1, []string{"l_receiptdate", "l_commitdate"}, 0.5)
+	sup := d.scan(d.S, []string{"s_suppkey", "s_name"},
+		func(r exec.Row) bool { return r[sNat] == nation }, 1, []string{"s_nationkey"}, 1.0/25)
+	ord := d.scan(d.O, []string{"o_orderkey"},
+		func(r exec.Row) bool { return r[oStat] == 0 }, 1, []string{"o_orderstatus"}, 1.0/3)
+	l2 := d.scan(d.L, []string{"l_orderkey"}, nil, 0, nil, 1)
+	l3 := d.scan(d.L, []string{"l_orderkey"},
+		func(r exec.Row) bool { return r[lr] > r[lc] },
+		1, []string{"l_receiptdate", "l_commitdate"}, 0.5)
+
+	b := l1.join(sup, []string{"l_suppkey"}, []string{"s_suppkey"}).
+		semi(ord, []string{"l_orderkey"}, []string{"o_orderkey"}).
+		semi(l2, []string{"l_orderkey"}, []string{"l_orderkey"}).
+		anti(l3, []string{"l_orderkey"}, []string{"l_orderkey"})
+	return b.groupBy([]string{"s_name"}, []aggSpec{cnt("numwait")}, d.nomS()/25, 1).
+		top(100, []string{"numwait", "s_name"}, []bool{true, false}).node
+}
+
+// Q22: global sales opportunity. Customers from seven country codes with
+// above-average balances and no orders. The average comes from plan-time
+// statistics.
+func (d *Dataset) q22(g *sim.RNG) *opt.LNode {
+	codes := map[int64]bool{}
+	for len(codes) < 7 {
+		codes[g.Int64n(25)] = true
+	}
+	cNat := d.C.Schema.Col("c_nationkey")
+	cBal := d.C.Schema.Col("c_acctbal")
+	// Plan-time average positive balance among the selected codes.
+	var total, n int64
+	nats, bals := d.C.Col(cNat), d.C.Col(cBal)
+	for i := range nats {
+		if codes[nats[i]] && bals[i] > 0 {
+			total += bals[i]
+			n++
+		}
+	}
+	avgBal := int64(0)
+	if n > 0 {
+		avgBal = total / n
+	}
+
+	cust := d.scan(d.C, []string{"c_custkey", "c_nationkey", "c_acctbal"},
+		func(r exec.Row) bool { return codes[r[cNat]] && r[cBal] > avgBal },
+		2, []string{"c_nationkey", "c_acctbal"}, (7.0/25)*0.4)
+	ord := d.scan(d.O, []string{"o_custkey"}, nil, 0, nil, 1)
+	b := cust.anti(ord, []string{"c_custkey"}, []string{"o_custkey"})
+	return b.groupBy([]string{"c_nationkey"},
+		[]aggSpec{cnt("numcust"), sum("totacctbal", "c_acctbal")}, 7, 1).
+		orderBy("c_nationkey").node
+}

@@ -1,0 +1,142 @@
+package tpch
+
+import (
+	"testing"
+
+	"repro/internal/sim"
+)
+
+// runQuery executes one query on a fresh tiny server and returns its rows.
+func runQuery(t *testing.T, qn int, seed int64) ([][]int64, *Dataset) {
+	t.Helper()
+	srv, d := tinyServer(t, seed)
+	g := sim.NewRNG(seed)
+	var rows [][]int64
+	srv.Sim.Spawn("q", func(p *sim.Proc) {
+		res := srv.RunQuery(p, d.Query(qn, g), 0, 0)
+		rows = res.Rows
+	})
+	srv.Sim.Run(srv.Sim.Now() + sim.Time(1200*sim.Second))
+	srv.Stop()
+	srv.Sim.Run(srv.Sim.Now() + sim.Time(60*sim.Second))
+	return rows, d
+}
+
+// Structural assertions on query results: group counts, orderings, and
+// limits that follow from each template regardless of the random
+// parameters.
+func TestQ1GroupsAndOrder(t *testing.T) {
+	rows, _ := runQuery(t, 1, 2)
+	if len(rows) < 3 || len(rows) > 6 {
+		t.Fatalf("Q1 groups = %d, want 3..6 (returnflag x linestatus)", len(rows))
+	}
+	for i := 1; i < len(rows); i++ {
+		a, b := rows[i-1], rows[i]
+		if a[0] > b[0] || (a[0] == b[0] && a[1] > b[1]) {
+			t.Fatalf("Q1 not ordered by (returnflag, linestatus)")
+		}
+	}
+	for _, r := range rows {
+		// count_order > 0 and sum_qty positive.
+		if r[len(r)-1] <= 0 || r[2] <= 0 {
+			t.Fatalf("Q1 row has empty aggregates: %v", r)
+		}
+	}
+}
+
+func TestQ3TopNRespectsLimitAndOrder(t *testing.T) {
+	rows, _ := runQuery(t, 3, 3)
+	if len(rows) > 10 {
+		t.Fatalf("Q3 rows = %d, limit 10", len(rows))
+	}
+	// revenue (last col) descending.
+	for i := 1; i < len(rows); i++ {
+		if rows[i-1][3] < rows[i][3] {
+			t.Fatalf("Q3 revenue not descending")
+		}
+	}
+}
+
+func TestQ4AtMostFivePriorities(t *testing.T) {
+	rows, _ := runQuery(t, 4, 4)
+	if len(rows) > 5 {
+		t.Fatalf("Q4 groups = %d, max 5 priorities", len(rows))
+	}
+	for _, r := range rows {
+		if r[1] <= 0 {
+			t.Fatalf("Q4 non-positive count: %v", r)
+		}
+	}
+}
+
+func TestQ6SingleRow(t *testing.T) {
+	rows, _ := runQuery(t, 6, 6)
+	if len(rows) != 1 {
+		t.Fatalf("Q6 rows = %d, want 1 (scalar aggregate)", len(rows))
+	}
+	if rows[0][0] < 0 {
+		t.Fatalf("Q6 negative revenue: %v", rows[0])
+	}
+}
+
+func TestQ13CountsArePositive(t *testing.T) {
+	rows, _ := runQuery(t, 13, 13)
+	if len(rows) == 0 {
+		t.Fatal("Q13 empty")
+	}
+	for _, r := range rows {
+		if r[0] <= 0 || r[1] <= 0 {
+			t.Fatalf("Q13 non-positive (c_count, custdist): %v", r)
+		}
+	}
+}
+
+func TestQ14SingleRowRevenueSplit(t *testing.T) {
+	rows, _ := runQuery(t, 14, 14)
+	if len(rows) != 1 {
+		t.Fatalf("Q14 rows = %d", len(rows))
+	}
+	promo, total := rows[0][0], rows[0][1]
+	if promo < 0 || promo > total {
+		t.Fatalf("Q14 promo revenue %d outside [0, %d]", promo, total)
+	}
+}
+
+func TestQ18TopNHugeOrders(t *testing.T) {
+	rows, d := runQuery(t, 18, 18)
+	if len(rows) > 100 {
+		t.Fatalf("Q18 rows = %d, limit 100", len(rows))
+	}
+	_ = d
+	// Every surviving group's total quantity exceeds the 312-unit floor
+	// (31200 in hundredths at the minimum parameter).
+	for _, r := range rows {
+		if r[len(r)-1] <= 31200 {
+			t.Fatalf("Q18 group below quantity threshold: %v", r)
+		}
+	}
+}
+
+func TestQ22GroupsBounded(t *testing.T) {
+	rows, _ := runQuery(t, 22, 22)
+	if len(rows) > 7 {
+		t.Fatalf("Q22 groups = %d, max 7 country codes", len(rows))
+	}
+	for _, r := range rows {
+		if r[1] <= 0 || r[2] <= 0 {
+			t.Fatalf("Q22 empty group: %v", r)
+		}
+	}
+}
+
+func TestQ21OrderedByNumwaitDesc(t *testing.T) {
+	rows, _ := runQuery(t, 21, 21)
+	for i := 1; i < len(rows); i++ {
+		if rows[i-1][1] < rows[i][1] {
+			t.Fatalf("Q21 numwait not descending")
+		}
+	}
+	if len(rows) > 100 {
+		t.Fatalf("Q21 rows = %d, limit 100", len(rows))
+	}
+}

@@ -1,0 +1,148 @@
+package tpch
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/engine"
+	"repro/internal/sim"
+)
+
+// tinyServer builds an SF-1 dataset at very low density for fast tests.
+func tinyServer(t *testing.T, seed int64) (*engine.Server, *Dataset) {
+	t.Helper()
+	d := Build(Config{SF: 1, ActualLineitemPerSF: 300, Seed: seed})
+	srv := engine.NewServer(engine.Config{Seed: seed})
+	srv.AttachDB(d.DB)
+	srv.WarmBufferPool()
+	srv.Start()
+	return srv, d
+}
+
+func TestDatasetShape(t *testing.T) {
+	d := Build(Config{SF: 1, ActualLineitemPerSF: 600})
+	if d.L.ActualRows() != 600 {
+		t.Fatalf("lineitem actual = %d", d.L.ActualRows())
+	}
+	if d.L.NominalRows() != 6_000_000 {
+		t.Fatalf("lineitem nominal = %d", d.L.NominalRows())
+	}
+	if d.K != 10000 {
+		t.Fatalf("K = %d", d.K)
+	}
+	// Proportional tables share K.
+	for _, tb := range []int64{d.O.K, d.PS.K, d.P.K, d.S.K, d.C.K} {
+		if tb != d.K {
+			t.Fatalf("inconsistent K: %d vs %d", tb, d.K)
+		}
+	}
+	if d.N.ActualRows() != 25 || d.R.ActualRows() != 5 {
+		t.Fatal("nation/region wrong")
+	}
+	// Table 2 ballpark: SF-1 TPC-H is ~1 GB raw; the clustered
+	// columnstore stores it compressed (paper ratio ~0.4).
+	data := d.DB.DataBytes()
+	if data < 250<<20 || data > 800<<20 {
+		t.Fatalf("SF1 nominal data bytes = %d MB", data>>20)
+	}
+}
+
+func TestAllQueriesExecuteSerialAndParallel(t *testing.T) {
+	for qn := 1; qn <= NumQueries; qn++ {
+		srv, d := tinyServer(t, int64(qn))
+		g := sim.NewRNG(99)
+		el := QueryTiming(srv, d, qn, 1, 0, g)
+		if el <= 0 {
+			t.Fatalf("Q%d serial produced no elapsed time", qn)
+		}
+		srv.Stop()
+		srv.Sim.Run(srv.Sim.Now() + sim.Time(10*sim.Second))
+
+		srv2, d2 := tinyServer(t, int64(qn))
+		g2 := sim.NewRNG(99)
+		el2 := QueryTiming(srv2, d2, qn, 32, 0, g2)
+		if el2 <= 0 {
+			t.Fatalf("Q%d parallel produced no elapsed time", qn)
+		}
+		srv2.Stop()
+		srv2.Sim.Run(srv2.Sim.Now() + sim.Time(10*sim.Second))
+	}
+}
+
+func TestQueryResultsDeterministic(t *testing.T) {
+	run := func() []int64 {
+		srv, d := tinyServer(t, 7)
+		g := sim.NewRNG(5)
+		var out []int64
+		srv.Sim.Spawn("q", func(p *sim.Proc) {
+			res := srv.RunQuery(p, d.Query(1, g), 0, 0)
+			for _, r := range res.Rows {
+				out = append(out, r...)
+			}
+		})
+		srv.Sim.Run(srv.Sim.Now() + sim.Time(600*sim.Second))
+		srv.Stop()
+		return out
+	}
+	a, b := run(), run()
+	if len(a) == 0 || len(a) != len(b) {
+		t.Fatalf("lengths %d vs %d", len(a), len(b))
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("diverges at %d", i)
+		}
+	}
+}
+
+func TestStreamsMakeProgress(t *testing.T) {
+	srv, d := tinyServer(t, 11)
+	var st StreamStats
+	until := sim.Time(30 * sim.Second)
+	RunStreams(srv, d, 3, until, &st)
+	srv.Sim.Run(until)
+	srv.Stop()
+	srv.Sim.Run(until + sim.Time(600*sim.Second))
+	if st.QueriesDone < 6 {
+		t.Fatalf("streams completed only %d queries", st.QueriesDone)
+	}
+	if srv.Ctr.QueriesDone != int64(st.QueriesDone) {
+		t.Fatalf("counter mismatch: %d vs %d", srv.Ctr.QueriesDone, st.QueriesDone)
+	}
+}
+
+func TestQ20PlanFlip(t *testing.T) {
+	// Figure 7: at SF 300 the optimizer must use a hash join for the
+	// part/partsupp access in the serial plan but flip to a parallel
+	// index nested loops at MAXDOP 32; at SF 10 the plan shape must not
+	// change with MAXDOP.
+	build := func(sf int) (*engine.Server, *Dataset) {
+		d := Build(Config{SF: sf, ActualLineitemPerSF: 80, Seed: 1})
+		srv := engine.NewServer(engine.Config{Seed: 1})
+		srv.AttachDB(d.DB)
+		return srv, d
+	}
+	srv, d := build(300)
+	g := sim.NewRNG(1)
+	q := d.Query(20, g)
+	serialPlan, _ := srv.ExplainQuery(q, 1)
+	parPlan, _ := srv.ExplainQuery(q, 32)
+	if !strings.Contains(serialPlan.Shape(), "HJ(CScan,CScan)") {
+		t.Errorf("SF300 serial plan should hash-join partsupp: %s", serialPlan.Shape())
+	}
+	if !strings.Contains(parPlan.Shape(), "pNL(pCScan)") {
+		t.Errorf("SF300 parallel plan should use index NL: %s", parPlan.Shape())
+	}
+	srv.Stop()
+
+	srv10, d10 := build(10)
+	g10 := sim.NewRNG(1)
+	q10 := d10.Query(20, g10)
+	s10, _ := srv10.ExplainQuery(q10, 1)
+	p10, _ := srv10.ExplainQuery(q10, 32)
+	strip := func(s string) string { return strings.ReplaceAll(s, "p", "") }
+	if strip(s10.Shape()) != strip(p10.Shape()) {
+		t.Errorf("SF10 plan shape should be MAXDOP-stable: %s vs %s", s10.Shape(), p10.Shape())
+	}
+	srv10.Stop()
+}
