@@ -8,6 +8,7 @@ package repro_test
 
 import (
 	"fmt"
+	"runtime"
 	"testing"
 
 	"repro/internal/harness"
@@ -236,6 +237,31 @@ func BenchmarkFig8(b *testing.B) {
 		}
 		b.ReportMetric(float64(degraded), "queries_hurt_at_2pct")
 		b.ReportMetric(q18, "q18_speedup_at_2pct")
+	}
+}
+
+// BenchmarkSweepParallelism runs the same 12-point core sweep serially
+// and on a full worker pool; the time-per-op ratio between the two
+// sub-benchmarks is the wall-clock speedup of the parallel executor
+// (results are bit-identical either way — see harness.Sweep).
+func BenchmarkSweepParallelism(b *testing.B) {
+	steps := []int{1, 2, 4, 8, 16, 32}
+	pars := []int{1}
+	if n := runtime.NumCPU(); n > 1 {
+		pars = append(pars, n)
+	}
+	for _, par := range pars {
+		par := par
+		b.Run(fmt.Sprintf("parallel=%d", par), func(b *testing.B) {
+			opt := benchOpts()
+			opt.Parallel = par
+			for i := 0; i < b.N; i++ {
+				res := harness.Fig2Cores(harness.WTpch, []int{10, 100}, steps, opt)
+				if len(res.PerfBySF) != 2 {
+					b.Fatal("missing curves")
+				}
+			}
+		})
 	}
 }
 

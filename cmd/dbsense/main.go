@@ -13,6 +13,8 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
+	"time"
 
 	"repro/internal/core"
 	"repro/internal/harness"
@@ -28,6 +30,8 @@ var (
 	seed     = flag.Int64("seed", 1, "simulation seed")
 	workload = flag.String("workload", "", "restrict fig2*/fig4 to one workload (tpch|tpce|asdb|htap)")
 	quick    = flag.Bool("quick", false, "reduced sweeps and scale factors for a fast pass")
+	parallel = flag.Int("parallel", runtime.NumCPU(), "worker threads for experiment sweeps (results are identical at any setting)")
+	progress = flag.Bool("progress", true, "report per-point sweep progress on stderr")
 )
 
 func opts() harness.Options {
@@ -36,6 +40,10 @@ func opts() harness.Options {
 	o.Measure = sim.DurationOf(*measure)
 	o.Warmup = sim.DurationOf(*warmup)
 	o.Seed = *seed
+	o.Parallel = *parallel
+	if *progress {
+		o.Progress = printProgress
+	}
 	if *quick {
 		o.Density = 120
 		o.Measure = sim.DurationOf(2)
@@ -43,6 +51,15 @@ func opts() harness.Options {
 		o.Users = 32
 	}
 	return o
+}
+
+// printProgress overwrites one stderr status line per sweep as points
+// complete, finishing the line when the sweep does.
+func printProgress(done, total int, elapsed time.Duration) {
+	fmt.Fprintf(os.Stderr, "\r  sweep %d/%d points · %.1fs", done, total, elapsed.Seconds())
+	if done == total {
+		fmt.Fprintln(os.Stderr)
+	}
 }
 
 func workloads() []harness.Workload {
@@ -132,10 +149,14 @@ func run(exp string) {
 		}
 	case "fig4":
 		t := core.Table{Headers: []string{"workload", "SF", "metric", "p10", "p50", "p90", "p99", "mean"}}
-		for _, w := range workloads() {
-			sfs := harness.PaperSFs(w)
-			sf := sfs[len(sfs)-1]
-			res := harness.Fig4(w, sf, o)
+		ws := workloads()
+		results := harness.Sweep(o.Parallel, len(ws), func(i int) harness.Fig4Result {
+			sfs := harness.PaperSFs(ws[i])
+			return harness.Fig4(ws[i], sfs[len(sfs)-1], o)
+		}, o.Progress)
+		for i, w := range ws {
+			res := results[i]
+			sf := res.SF
 			for _, row := range []struct {
 				name string
 				d    metrics.Distribution

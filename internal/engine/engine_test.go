@@ -187,3 +187,67 @@ func TestWorkspaceSemaphoreQueuesGrants(t *testing.T) {
 		t.Fatal("no RESOURCE_SEMAPHORE waits despite over-committed workspace")
 	}
 }
+
+func TestHugeGrantClampedAndCompletes(t *testing.T) {
+	s := NewServer(Config{Seed: 12})
+	db := testDB()
+	s.AttachDB(db)
+	s.WarmBufferPool()
+	s.Start()
+	acct := db.Table("account")
+	q := &opt.LNode{
+		Kind: opt.LAgg,
+		Left: &opt.LNode{
+			Kind: opt.LScan, Heap: access.Heap{T: acct},
+			Proj: []int{0, 1}, Name: "account",
+		},
+		Groups:  []int{0},
+		Aggs:    []exec.AggSpec{{Kind: exec.AggSum, Col: 1}},
+		NGroups: 1e12, // grant demand hits the per-query cap
+	}
+	// A grant fraction > 1 requests more than the whole workspace; the
+	// request used to be unsatisfiable and the session waited forever.
+	s.workspace = 1 << 20
+	done := false
+	s.Sim.Spawn("q", func(p *sim.Proc) {
+		s.RunQuery(p, q, 0, 4.0)
+		done = true
+	})
+	s.Sim.Run(sim.Time(600 * sim.Second))
+	if !done {
+		t.Fatal("huge-grant query did not complete (grant not clamped to workspace)")
+	}
+	if s.workspaceUse != 0 {
+		t.Fatalf("workspaceUse = %d after release, want 0", s.workspaceUse)
+	}
+	s.Stop()
+	s.Sim.Run(sim.Time(1200 * sim.Second))
+}
+
+func TestGrantWaiterAbandonedOnStopDoesNotCharge(t *testing.T) {
+	s := NewServer(Config{Seed: 13})
+	s.workspace = 1 << 20
+	holder := int64(-1)
+	waiter := int64(-1)
+	s.Sim.Spawn("holder", func(p *sim.Proc) {
+		holder = s.acquireWorkspace(p, 1<<20) // takes the whole workspace
+	})
+	s.Sim.Spawn("waiter", func(p *sim.Proc) {
+		waiter = s.acquireWorkspace(p, 1<<19) // must park
+	})
+	s.Sim.Run(sim.Time(1 * sim.Second))
+	if holder != 1<<20 {
+		t.Fatalf("holder granted %d, want %d", holder, int64(1<<20))
+	}
+	if waiter != -1 {
+		t.Fatalf("waiter returned %d while workspace was full", waiter)
+	}
+	s.Stop() // wakes the waiter; capacity still unavailable
+	s.Sim.Run(sim.Time(2 * sim.Second))
+	if waiter != 0 {
+		t.Fatalf("abandoned waiter returned %d, want 0", waiter)
+	}
+	if s.workspaceUse != 1<<20 {
+		t.Fatalf("workspaceUse = %d, want %d (only the holder's grant)", s.workspaceUse, int64(1<<20))
+	}
+}

@@ -163,6 +163,7 @@ func (s *Server) Stop() {
 	s.Log.Stop()
 	s.BP.Stop()
 	s.Smp.Stop()
+	s.grantQ.WakeAll(s.Sim) // let parked grant waiters observe shutdown
 }
 
 // Stopped reports whether shutdown was requested.
@@ -256,14 +257,25 @@ func (s *Server) Planner(dop int) *opt.Planner {
 }
 
 // acquireWorkspace blocks until bytes of query workspace are available
-// (RESOURCE_SEMAPHORE).
-func (s *Server) acquireWorkspace(p *sim.Proc, bytes int64) {
+// (RESOURCE_SEMAPHORE). Requests larger than the whole workspace are
+// clamped — they could otherwise never be satisfied and the session
+// would wait forever. It returns the bytes actually reserved: 0 when
+// the wait was abandoned because the server stopped, in which case
+// nothing was charged and nothing must be released.
+func (s *Server) acquireWorkspace(p *sim.Proc, bytes int64) int64 {
+	if bytes > s.workspace {
+		bytes = s.workspace
+	}
 	start := p.Now()
 	for s.workspaceUse+bytes > s.workspace && !s.stopped {
 		s.grantQ.Wait(p)
 	}
-	s.workspaceUse += bytes
 	s.Ctr.AddWait(metrics.WaitResourceSem, sim.Duration(p.Now()-start))
+	if s.workspaceUse+bytes > s.workspace {
+		return 0 // woken by Stop, not by capacity
+	}
+	s.workspaceUse += bytes
+	return bytes
 }
 
 func (s *Server) releaseWorkspace(bytes int64) {
@@ -295,8 +307,9 @@ func (s *Server) RunQuery(p *sim.Proc, q *opt.LNode, maxdopHint int, grantPct fl
 	}
 	plan, info := pl.Plan(q)
 	if info.GrantBytes > 0 {
-		s.acquireWorkspace(p, info.GrantBytes)
-		defer s.releaseWorkspace(info.GrantBytes)
+		if granted := s.acquireWorkspace(p, info.GrantBytes); granted > 0 {
+			defer s.releaseWorkspace(granted)
+		}
 	}
 	env := &exec.Env{
 		Sim: s.Sim, M: s.M, BP: s.BP, Dev: s.Dev, Ctr: s.Ctr,

@@ -57,8 +57,11 @@ type Env struct {
 }
 
 // home returns the coordinator core, defaulting to the first allowed.
+// A Home outside the cpuset (e.g. assigned before AllowN shrank the set)
+// must not be used: serial stages would otherwise run on disallowed
+// cores, distorting core-allocation experiments.
 func (e *Env) home() int {
-	if e.Home > 0 || containsInt(e.Cores, e.Home) {
+	if e.Home > 0 && containsInt(e.Cores, e.Home) {
 		return e.Home
 	}
 	return e.Cores[0]

@@ -324,6 +324,48 @@ func TestColScanMatchesRowScan(t *testing.T) {
 	}
 }
 
+func TestHomeRespectsShrunkCpuset(t *testing.T) {
+	// A session Home assigned before the cpuset shrank (AllowN) must not
+	// be used once it is outside the allowed set — serial stages would
+	// run on disallowed cores and distort core-allocation experiments.
+	e := &Env{Cores: []int{0, 1, 2, 3}, Home: 6}
+	if got := e.home(); got != 0 {
+		t.Fatalf("home() = %d for Home=6 outside cpuset %v, want 0", got, e.Cores)
+	}
+	e.Home = 2
+	if got := e.home(); got != 2 {
+		t.Fatalf("home() = %d for Home=2 inside cpuset, want 2", got)
+	}
+	e = &Env{Cores: []int{4, 5}, Home: 0}
+	if got := e.home(); got != 4 {
+		t.Fatalf("home() = %d for Home=0 with cpuset %v, want 4", got, e.Cores)
+	}
+}
+
+func TestColScanCountStarShape(t *testing.T) {
+	// COUNT(*)-shaped plans project no columns and filter on none; the
+	// scan must still report every row (via the index's first column)
+	// instead of panicking on an empty column set.
+	te := newTestEnv(4)
+	orders := te.ordersTable()
+	csi := access.NewCSI(colstore.Build(200, orders, []int{0, 1, 2}))
+	csi.Ix.File.Region = te.env.M.ReserveRegion(csi.Ix.File.Bytes() + 1<<20)
+	te.env.BP.Register(csi.Ix.File)
+	n := &Node{
+		Kind: KColScan, CSI: csi, Proj: nil,
+		Weight: orders.K, Parallel: true, Name: "orders_csi",
+	}
+	rows, _ := te.run(n)
+	if len(rows) != 200 {
+		t.Fatalf("count(*) colscan rows = %d, want 200", len(rows))
+	}
+	for _, r := range rows {
+		if len(r) != 0 {
+			t.Fatalf("projected row not empty: %v", r)
+		}
+	}
+}
+
 func TestGrantOverflowSpills(t *testing.T) {
 	te := newTestEnv(2)
 	orders := te.ordersTable()

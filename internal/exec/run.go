@@ -131,6 +131,12 @@ func runColScan(p *sim.Proc, env *Env, n *Node) []Row {
 		colOfPos[tc] = cp
 	}
 	sort.Ints(colPoss)
+	// COUNT(*)-shaped plans project no columns and filter on none;
+	// segment row counts then come from the index's first column.
+	countPos := 0
+	if len(colPoss) > 0 {
+		countPos = colPoss[0]
+	}
 
 	parts := segs
 	if parts == 0 {
@@ -147,7 +153,7 @@ func runColScan(p *sim.Proc, env *Env, n *Node) []Row {
 			csi.ChargeSegmentScan(ctx, cp, seg, n.NPred)
 			decoded[cp] = ix.Segment(cp, seg).Decode(nil)
 		}
-		nrows := ix.Segment(colPoss[0], seg).N
+		nrows := ix.Segment(countPos, seg).N
 		var out []Row
 		row := make(Row, ix.Table.NCols())
 		for r := 0; r < nrows; r++ {

@@ -71,12 +71,20 @@ func Fig2Cores(w Workload, sfs []int, steps []int, opt Options) Fig2CoresResult 
 	if steps == nil {
 		steps = CoreSteps
 	}
+	var pts []Point
+	for _, sf := range sfs {
+		for _, n := range steps {
+			pts = append(pts, Point{Workload: w, SF: sf, Knobs: Knobs{Cores: n}})
+		}
+	}
+	rs := RunPoints(pts, opt)
 	out := Fig2CoresResult{Workload: w, PerfBySF: map[int]core.Curve{}}
+	i := 0
 	for _, sf := range sfs {
 		c := core.Curve{Name: fmt.Sprintf("%s-sf%d", w, sf)}
 		for _, n := range steps {
-			r := runWorkload(w, sf, opt, Knobs{Cores: n})
-			c.Add(float64(n), r.Throughput)
+			c.Add(float64(n), rs[i].Throughput)
+			i++
 		}
 		out.PerfBySF[sf] = c
 	}
@@ -96,14 +104,22 @@ func Fig2LLC(w Workload, sfs []int, steps []int, opt Options) Fig2LLCResult {
 	if steps == nil {
 		steps = LLCSteps
 	}
+	var pts []Point
+	for _, sf := range sfs {
+		for _, mb := range steps {
+			pts = append(pts, Point{Workload: w, SF: sf, Knobs: Knobs{LLCMB: mb}})
+		}
+	}
+	rs := RunPoints(pts, opt)
 	out := Fig2LLCResult{Workload: w, PerfBySF: map[int]core.Curve{}, MPKIBySF: map[int]core.Curve{}}
+	i := 0
 	for _, sf := range sfs {
 		perf := core.Curve{Name: fmt.Sprintf("%s-sf%d", w, sf)}
 		mpki := core.Curve{Name: fmt.Sprintf("%s-sf%d-mpki", w, sf)}
 		for _, mb := range steps {
-			r := runWorkload(w, sf, opt, Knobs{LLCMB: mb})
-			perf.Add(float64(mb), r.Throughput)
-			mpki.Add(float64(mb), r.MPKI)
+			perf.Add(float64(mb), rs[i].Throughput)
+			mpki.Add(float64(mb), rs[i].MPKI)
+			i++
 		}
 		out.PerfBySF[sf] = perf
 		out.MPKIBySF[sf] = mpki
@@ -149,8 +165,15 @@ type Table3Result struct {
 // Table3 reproduces the lock/latch wait-time ratios between TPC-E scale
 // factors (paper: SF 15000 vs SF 5000).
 func Table3(smallSF, largeSF int, opt Options) Table3Result {
-	rs, _ := TPCEWaits(smallSF, opt, Knobs{})
-	rl, _ := TPCEWaits(largeSF, opt, Knobs{})
+	waits := Sweep(opt.Parallel, 2, func(i int) Result {
+		sf := smallSF
+		if i == 1 {
+			sf = largeSF
+		}
+		r, _ := TPCEWaits(sf, opt, Knobs{})
+		return r
+	}, opt.Progress)
+	rs, rl := waits[0], waits[1]
 	classes := []metrics.WaitClass{
 		metrics.WaitLock, metrics.WaitLatch, metrics.WaitPageLatch, metrics.WaitPageIOLatch,
 	}
@@ -188,22 +211,31 @@ type BandwidthPoint struct {
 // Fig3 reproduces the average-bandwidth-versus-performance study for one
 // workload and scale factor.
 func Fig3(w Workload, sf int, opt Options) Fig3Result {
-	var out Fig3Result
-	for _, n := range []int{2, 4, 8, 16, 32} {
-		r := runWorkload(w, sf, opt, Knobs{Cores: n})
-		out.CoreDriven = append(out.CoreDriven, BandwidthPoint{
-			Knob: float64(n), Throughput: r.Throughput,
-			SSDReadMBps: r.SSDReadMBps, SSDWriteMBps: r.SSDWriteMBps, DRAMMBps: r.DRAMMBps,
-		})
+	coreSteps := []int{2, 4, 8, 16, 32}
+	cacheSteps := []int{2, 6, 12, 20, 40}
+	var pts []Point
+	for _, n := range coreSteps {
+		pts = append(pts, Point{Workload: w, SF: sf, Knobs: Knobs{Cores: n}})
 	}
-	for _, mb := range []int{2, 6, 12, 20, 40} {
-		r := runWorkload(w, sf, opt, Knobs{LLCMB: mb})
-		out.CacheDriven = append(out.CacheDriven, BandwidthPoint{
-			Knob: float64(mb), Throughput: r.Throughput,
-			SSDReadMBps: r.SSDReadMBps, SSDWriteMBps: r.SSDWriteMBps, DRAMMBps: r.DRAMMBps,
-		})
+	for _, mb := range cacheSteps {
+		pts = append(pts, Point{Workload: w, SF: sf, Knobs: Knobs{LLCMB: mb}})
+	}
+	rs := RunPoints(pts, opt)
+	var out Fig3Result
+	for i, n := range coreSteps {
+		out.CoreDriven = append(out.CoreDriven, bandwidthPoint(float64(n), rs[i]))
+	}
+	for i, mb := range cacheSteps {
+		out.CacheDriven = append(out.CacheDriven, bandwidthPoint(float64(mb), rs[len(coreSteps)+i]))
 	}
 	return out
+}
+
+func bandwidthPoint(knob float64, r Result) BandwidthPoint {
+	return BandwidthPoint{
+		Knob: knob, Throughput: r.Throughput,
+		SSDReadMBps: r.SSDReadMBps, SSDWriteMBps: r.SSDWriteMBps, DRAMMBps: r.DRAMMBps,
+	}
 }
 
 // Fig4Result holds bandwidth distributions at full allocations.
@@ -236,10 +268,12 @@ func Fig5(opt Options, steps []float64) core.Curve {
 	if steps == nil {
 		steps = Fig5Steps
 	}
+	rs := Sweep(opt.Parallel, len(steps), func(i int) Result {
+		return RunTPCH(300, opt, Knobs{ReadLimitMBps: steps[i]})
+	}, opt.Progress)
 	c := core.Curve{Name: "tpch-sf300-readbw"}
-	for _, mbps := range steps {
-		r := RunTPCH(300, opt, Knobs{ReadLimitMBps: mbps})
-		c.Add(mbps, r.Throughput)
+	for i, mbps := range steps {
+		c.Add(mbps, rs[i].Throughput)
 	}
 	return c
 }
@@ -247,14 +281,17 @@ func Fig5(opt Options, steps []float64) core.Curve {
 // Fig5Write reproduces the ASDB SF 2000 write-bandwidth-limit result
 // (paper: -6% at 100 MB/s, -44% at 50 MB/s).
 func Fig5Write(opt Options) core.Curve {
+	steps := []float64{50, 100, 0}
+	rs := Sweep(opt.Parallel, len(steps), func(i int) Result {
+		return RunASDB(2000, opt, Knobs{WriteLimitMBps: steps[i]})
+	}, opt.Progress)
 	c := core.Curve{Name: "asdb-sf2000-writebw"}
-	for _, mbps := range []float64{50, 100, 0} {
-		r := RunASDB(2000, opt, Knobs{WriteLimitMBps: mbps})
+	for i, mbps := range steps {
 		x := mbps
 		if x == 0 {
 			x = 1200 // device limit
 		}
-		c.Add(x, r.Throughput)
+		c.Add(x, rs[i].Throughput)
 	}
 	return c
 }
@@ -287,11 +324,11 @@ func Fig6(sf int, opt Options, dops []int) Fig6Result {
 	if dops == nil {
 		dops = DOPSteps
 	}
-	out := Fig6Result{SF: sf, Elapsed: map[int]map[int]sim.Duration{}}
-	for q := 1; q <= tpch.NumQueries; q++ {
-		out.Elapsed[q] = map[int]sim.Duration{}
-	}
-	for _, dop := range dops {
+	// Each DOP setting is one independent point: it builds its own
+	// dataset and server, so points fan out across workers.
+	perDop := Sweep(opt.Parallel, len(dops), func(di int) map[int]sim.Duration {
+		dop := dops[di]
+		elapsed := map[int]sim.Duration{}
 		d := tpch.Build(tpch.Config{SF: sf, ActualLineitemPerSF: opt.Density, Seed: opt.Seed})
 		srv := newServer(opt, Knobs{Cores: dop, MaxDOP: dop})
 		srv.AttachDB(d.DB)
@@ -300,10 +337,20 @@ func Fig6(sf int, opt Options, dops []int) Fig6Result {
 		g := sim.NewRNG(opt.Seed + int64(dop))
 		for _, qi := range g.Perm(tpch.NumQueries) {
 			q := qi + 1
-			out.Elapsed[q][dop] = tpch.QueryTiming(srv, d, q, dop, 0, g)
+			elapsed[q] = tpch.QueryTiming(srv, d, q, dop, 0, g)
 		}
 		srv.Stop()
 		srv.Sim.Run(srv.Sim.Now() + sim.Time(60*sim.Second))
+		return elapsed
+	}, opt.Progress)
+	out := Fig6Result{SF: sf, Elapsed: map[int]map[int]sim.Duration{}}
+	for q := 1; q <= tpch.NumQueries; q++ {
+		out.Elapsed[q] = map[int]sim.Duration{}
+	}
+	for di, dop := range dops {
+		for q, t := range perDop[di] {
+			out.Elapsed[q][dop] = t
+		}
 	}
 	return out
 }
@@ -362,11 +409,9 @@ func Fig8(opt Options, grants []float64) Fig8Result {
 	if grants == nil {
 		grants = GrantSteps
 	}
-	out := Fig8Result{SF: 100, Elapsed: map[int]map[float64]sim.Duration{}}
-	for q := 1; q <= tpch.NumQueries; q++ {
-		out.Elapsed[q] = map[float64]sim.Duration{}
-	}
-	for _, grant := range grants {
+	perGrant := Sweep(opt.Parallel, len(grants), func(gi int) map[int]sim.Duration {
+		grant := grants[gi]
+		elapsed := map[int]sim.Duration{}
 		d := tpch.Build(tpch.Config{SF: 100, ActualLineitemPerSF: opt.Density, Seed: opt.Seed})
 		srv := newServer(opt, Knobs{GrantPct: grant})
 		srv.AttachDB(d.DB)
@@ -375,10 +420,20 @@ func Fig8(opt Options, grants []float64) Fig8Result {
 		g := sim.NewRNG(opt.Seed)
 		for _, qi := range g.Perm(tpch.NumQueries) {
 			q := qi + 1
-			out.Elapsed[q][grant] = tpch.QueryTiming(srv, d, q, 0, grant, g)
+			elapsed[q] = tpch.QueryTiming(srv, d, q, 0, grant, g)
 		}
 		srv.Stop()
 		srv.Sim.Run(srv.Sim.Now() + sim.Time(60*sim.Second))
+		return elapsed
+	}, opt.Progress)
+	out := Fig8Result{SF: 100, Elapsed: map[int]map[float64]sim.Duration{}}
+	for q := 1; q <= tpch.NumQueries; q++ {
+		out.Elapsed[q] = map[float64]sim.Duration{}
+	}
+	for gi, grant := range grants {
+		for q, t := range perGrant[gi] {
+			out.Elapsed[q][grant] = t
+		}
 	}
 	return out
 }

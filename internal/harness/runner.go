@@ -41,6 +41,13 @@ type Options struct {
 	// up to 8) until at least this many queries complete — long-running
 	// analytical points would otherwise quantize QPS badly.
 	MinQueries int64
+	// Parallel is how many worker goroutines sweeps fan experiment
+	// points across (0 = GOMAXPROCS). Results are bit-identical at any
+	// setting; see Sweep.
+	Parallel int
+	// Progress, when non-nil, receives per-point completion updates
+	// during sweeps.
+	Progress Progress
 }
 
 // DefaultOptions returns bench-scale settings.
@@ -250,7 +257,7 @@ func RunASDB(sf int, opt Options, k Knobs) Result {
 	until := driverHorizon(opt)
 	asdb.RunClients(srv, d, clients, asdb.DefaultMix(), until, &st)
 	r := measure(srv, opt)
-	r.Throughput = float64(r.Delta.TxnCommits) / opt.Measure.Seconds()
+	r.Throughput = float64(r.Delta.TxnCommits) / r.ElapsedSecs
 	return r
 }
 

@@ -1,0 +1,90 @@
+package harness
+
+import (
+	"reflect"
+	"testing"
+	"time"
+)
+
+func TestSweepPreservesInputOrder(t *testing.T) {
+	got := Sweep(4, 25, func(i int) int { return i * i }, nil)
+	if len(got) != 25 {
+		t.Fatalf("results = %d, want 25", len(got))
+	}
+	for i, v := range got {
+		if v != i*i {
+			t.Fatalf("result[%d] = %d, want %d", i, v, i*i)
+		}
+	}
+}
+
+func TestSweepProgressReachesTotal(t *testing.T) {
+	calls := 0
+	last := 0
+	Sweep(3, 7, func(i int) int { return i }, func(done, total int, elapsed time.Duration) {
+		calls++
+		last = done
+		if total != 7 {
+			t.Errorf("total = %d, want 7", total)
+		}
+		if elapsed < 0 {
+			t.Errorf("elapsed = %v", elapsed)
+		}
+	})
+	if calls != 7 || last != 7 {
+		t.Fatalf("progress calls = %d (last done = %d), want 7/7", calls, last)
+	}
+}
+
+func TestSweepHandlesEmptyAndSerial(t *testing.T) {
+	if got := Sweep(8, 0, func(i int) int { return i }, nil); len(got) != 0 {
+		t.Fatalf("empty sweep returned %d results", len(got))
+	}
+	got := Sweep(1, 3, func(i int) int { return i + 1 }, nil)
+	if !reflect.DeepEqual(got, []int{1, 2, 3}) {
+		t.Fatalf("serial sweep = %v", got)
+	}
+}
+
+// TestSweepSerialParallelIdentical is the standing determinism check the
+// parallel executor rests on: the same points measured serially and on a
+// worker pool must produce bit-identical Results point-for-point. Run
+// with -race (CI does) to also prove points share no mutable state.
+func TestSweepSerialParallelIdentical(t *testing.T) {
+	opt := TestOptions()
+	points := []Point{
+		{Workload: WTpch, SF: 1, Knobs: Knobs{Cores: 4}},
+		{Workload: WTpch, SF: 2, Knobs: Knobs{LLCMB: 8}},
+		{Workload: WAsdb, SF: 5, Knobs: Knobs{Cores: 8}},
+		{Workload: WHtap, SF: 300, Knobs: Knobs{Cores: 8}},
+	}
+	opt.Parallel = 1
+	serial := RunPoints(points, opt)
+	opt.Parallel = 4
+	par := RunPoints(points, opt)
+	if len(serial) != len(points) || len(par) != len(points) {
+		t.Fatalf("result lengths: serial=%d par=%d", len(serial), len(par))
+	}
+	for i := range points {
+		if !reflect.DeepEqual(serial[i], par[i]) {
+			t.Errorf("point %d (%+v) diverged:\n serial: tput=%v mpki=%v instr=%v\n par:    tput=%v mpki=%v instr=%v",
+				i, points[i],
+				serial[i].Throughput, serial[i].MPKI, serial[i].Delta.Instructions,
+				par[i].Throughput, par[i].MPKI, par[i].Delta.Instructions)
+		}
+	}
+}
+
+// TestFig6SerialParallelIdentical covers the per-query-timing sweeps
+// (Fig6/Fig8 style), which do not go through RunPoints.
+func TestFig6SerialParallelIdentical(t *testing.T) {
+	opt := TestOptions()
+	opt.Density = 30
+	opt.Parallel = 1
+	serial := Fig6(1, opt, []int{1, 4})
+	opt.Parallel = 4
+	par := Fig6(1, opt, []int{1, 4})
+	if !reflect.DeepEqual(serial, par) {
+		t.Fatalf("Fig6 diverged between parallel=1 and parallel=4")
+	}
+}
