@@ -6,7 +6,9 @@
 //	dbsense [flags] <experiment>
 //
 // Experiments: table2, fig2cores, fig2llc, table3, table4, fig3, fig4,
-// fig5, fig5write, fig6, fig7, fig8, all.
+// fig5, fig5write, fig6, fig7, fig8, all. With -faults, the resilience
+// experiment sweeps a fault-intensity axis and reports throughput
+// retention (see EXPERIMENTS.md, "Resilience experiments").
 package main
 
 import (
@@ -32,6 +34,7 @@ var (
 	quick    = flag.Bool("quick", false, "reduced sweeps and scale factors for a fast pass")
 	parallel = flag.Int("parallel", runtime.NumCPU(), "worker threads for experiment sweeps (results are identical at any setting)")
 	progress = flag.Bool("progress", true, "report per-point sweep progress on stderr")
+	faults   = flag.Bool("faults", false, "enable the resilience experiment (deterministic fault injection)")
 )
 
 func opts() harness.Options {
@@ -76,10 +79,14 @@ func sfsFor(w harness.Workload) []int {
 func main() {
 	flag.Parse()
 	if flag.NArg() != 1 {
-		fmt.Fprintln(os.Stderr, "usage: dbsense [flags] <table2|fig2cores|fig2llc|table3|table4|fig3|fig4|fig5|fig5write|fig6|fig7|fig8|all>")
+		fmt.Fprintln(os.Stderr, "usage: dbsense [flags] <table2|fig2cores|fig2llc|table3|table4|fig3|fig4|fig5|fig5write|fig6|fig7|fig8|resilience|all>")
 		os.Exit(2)
 	}
 	exp := flag.Arg(0)
+	if exp == "resilience" && !*faults {
+		fmt.Fprintln(os.Stderr, "the resilience experiment requires -faults")
+		os.Exit(2)
+	}
 	if exp == "all" {
 		// table4 derives from fig2llc's sweep, which run("fig2llc")
 		// prints alongside the curves, so it is not repeated here.
@@ -212,6 +219,15 @@ func run(exp string) {
 			res := harness.Fig7(sf, o)
 			fmt.Printf("-- Q20 @ SF %d --\nMAXDOP=1:\n%s\nMAXDOP=32:\n%s\n", sf, res.SerialPlan, res.ParallelPlan)
 		}
+	case "resilience":
+		steps := harness.FaultSteps
+		if *quick {
+			steps = []float64{0, 1, 4}
+		}
+		for _, pair := range resiliencePoints() {
+			res := harness.Resilience(pair.w, pair.sf, o, steps)
+			fmt.Print(res.String())
+		}
 	case "fig8":
 		res := harness.Fig8(o, nil)
 		t := core.Table{Headers: []string{"query", "M=15%", "M=5%", "M=2%"}}
@@ -230,6 +246,28 @@ func run(exp string) {
 // printCurves renders a family of curves via the harness report helper.
 func printCurves(title string, bySF map[int]core.Curve, knob string) {
 	fmt.Print(harness.RenderFamily(title, harness.CurveFamily(bySF), knob))
+}
+
+// resiliencePoints picks the workload/SF pairs the resilience sweep runs:
+// TPC-H and TPC-E by default, or a single -workload override at its
+// smallest paper scale factor.
+func resiliencePoints() []struct {
+	w  harness.Workload
+	sf int
+} {
+	type pair = struct {
+		w  harness.Workload
+		sf int
+	}
+	if *workload != "" {
+		w := harness.Workload(*workload)
+		return []pair{{w, harness.PaperSFs(w)[0]}}
+	}
+	tpceSF := 5000
+	if *quick {
+		tpceSF = 2000
+	}
+	return []pair{{harness.WTpch, 100}, {harness.WTpce, tpceSF}}
 }
 
 func coreSteps() []int {

@@ -73,6 +73,7 @@ type Pool struct {
 	dev *iodev.Device
 	ctr *metrics.Counters
 
+	basePages     int64 // configured capacity, before fault-injected shrinks
 	capacityPages int64
 	resident      int64
 
@@ -103,7 +104,48 @@ func New(sm *sim.Sim, dev *iodev.Device, ctr *metrics.Counters, capacityBytes in
 	if p.capacityPages < 64 {
 		p.capacityPages = 64
 	}
+	p.basePages = p.capacityPages
 	return p
+}
+
+// SetCapacityFrac shrinks (or restores) the pool to frac of its configured
+// capacity, evicting immediately to fit — the model for a fault-injected
+// memory-pressure spike, where an external consumer steals buffer memory.
+// frac is clamped to (0, 1]; the floor of 64 pages still applies.
+func (p *Pool) SetCapacityFrac(frac float64) {
+	if frac <= 0 || frac > 1 {
+		frac = 1
+	}
+	pages := int64(float64(p.basePages) * frac)
+	if pages < 64 {
+		pages = 64
+	}
+	p.capacityPages = pages
+	p.makeRoom(0)
+}
+
+// ioAttempts bounds the buffer pool's retries of a transiently failing
+// device read before giving up and depositing the error on the proc.
+const ioAttempts = 3
+
+// readPages reads bytes from the device with bounded retry. On success it
+// returns true; after ioAttempts transient failures it records the error
+// on the proc (sim.Proc.SetFail) and returns false, letting the query
+// coordinator surface a typed IO error.
+func (p *Pool) readPages(proc *sim.Proc, bytes int64) bool {
+	var lastErr error
+	for i := 0; i < ioAttempts; i++ {
+		_, err := p.dev.ReadErr(proc, bytes)
+		if err == nil {
+			return true
+		}
+		lastErr = err
+		if i < ioAttempts-1 {
+			p.ctr.IORetries++
+		}
+	}
+	proc.SetFail(lastErr)
+	return false
 }
 
 // Register adds a file to the pool. Files must be registered before use.
@@ -180,8 +222,14 @@ func (p *Pool) Probe(proc *sim.Proc, f *storage.File, pageNo int64, write bool, 
 	} else {
 		p.ctr.BufferMisses++
 		l.inIO = true
-		p.dev.Read(proc, storage.PageBytes)
+		ok := p.readPages(proc, storage.PageBytes)
 		l.inIO = false
+		if !ok {
+			// The read never landed: the page is not resident, and the
+			// failure is parked on the proc for the coordinator to collect.
+			p.releaseLatch(l)
+			return false
+		}
 		p.makeRoom(1)
 		fs.set(fs.resident, pageNo, true)
 		fs.nResident++
@@ -242,7 +290,10 @@ func (p *Pool) Scan(proc *sim.Proc, f *storage.File, startPage, nPages, readahea
 		run := page - runStart
 		p.ctr.BufferMisses += run
 		missTotal += run
-		p.dev.Read(proc, run*storage.PageBytes)
+		if !p.readPages(proc, run*storage.PageBytes) {
+			// Abandon the scan; the failure is on the proc.
+			return missTotal
+		}
 		p.makeRoom(run)
 		for q := runStart; q < runStart+run; q++ {
 			fs.set(fs.resident, q, true)

@@ -5,6 +5,7 @@ import (
 
 	"repro/internal/access"
 	"repro/internal/btree"
+	"repro/internal/cgroup"
 	"repro/internal/exec"
 	"repro/internal/metrics"
 	"repro/internal/opt"
@@ -249,5 +250,192 @@ func TestGrantWaiterAbandonedOnStopDoesNotCharge(t *testing.T) {
 	}
 	if s.workspaceUse != 1<<20 {
 		t.Fatalf("workspaceUse = %d, want %d (only the holder's grant)", s.workspaceUse, int64(1<<20))
+	}
+}
+
+// bigGrantQuery builds a grouped aggregation whose grant demand hits the
+// per-query cap, for grant-pressure tests.
+func bigGrantQuery(db *Database) *opt.LNode {
+	acct := db.Table("account")
+	return &opt.LNode{
+		Kind: opt.LAgg,
+		Left: &opt.LNode{
+			Kind: opt.LScan, Heap: access.Heap{T: acct},
+			Proj: []int{0, 1}, Name: "account",
+		},
+		Groups:  []int{0},
+		Aggs:    []exec.AggSpec{{Kind: exec.AggSum, Col: 1}},
+		NGroups: 1e12,
+	}
+}
+
+func TestRunQueryCanceledAtShutdown(t *testing.T) {
+	s := NewServer(Config{Seed: 21})
+	db := testDB()
+	s.AttachDB(db)
+	s.WarmBufferPool()
+	s.Start()
+	s.workspace = 1 << 20
+	s.Sim.Spawn("holder", func(p *sim.Proc) {
+		s.acquireWorkspace(p, 1<<20) // takes the whole workspace, never releases
+	})
+	var res QueryResult
+	returned := false
+	s.Sim.Spawn("q", func(p *sim.Proc) {
+		res = s.RunQuery(p, bigGrantQuery(db), 0, 0.75)
+		returned = true
+	})
+	s.Sim.Run(sim.Time(sim.Second))
+	if returned {
+		t.Fatal("query returned while the workspace was full")
+	}
+	s.Stop()
+	s.Sim.Run(sim.Time(2 * sim.Second))
+	if !returned {
+		t.Fatal("query still parked after Stop")
+	}
+	if res.Err == nil || res.Err.Kind != ErrCanceled {
+		t.Fatalf("err = %v, want ErrCanceled", res.Err)
+	}
+	if res.Rows != nil {
+		t.Fatalf("canceled query produced %d rows", len(res.Rows))
+	}
+	if res.Err.Retryable() {
+		t.Fatal("shutdown cancellation must not be retryable")
+	}
+	if s.Ctr.QueriesCanceled != 1 || s.Ctr.QueriesDone != 0 {
+		t.Fatalf("canceled=%d done=%d", s.Ctr.QueriesCanceled, s.Ctr.QueriesDone)
+	}
+	if s.workspaceUse != 1<<20 {
+		t.Fatalf("workspaceUse = %d, want only the holder's grant", s.workspaceUse)
+	}
+}
+
+func TestDeadlineDegradesGrantThenSucceeds(t *testing.T) {
+	s := NewServer(Config{Seed: 22, StmtTimeout: 4 * sim.Second})
+	db := testDB()
+	s.AttachDB(db)
+	s.WarmBufferPool()
+	s.Start()
+	// The holder owns the whole workspace past the half-deadline (2s), so
+	// the query degrades; it releases before the full deadline (4s), so the
+	// degraded plan's grant is satisfied and the query completes.
+	s.workspace = 1 << 20
+	s.Sim.Spawn("holder", func(p *sim.Proc) {
+		got := s.acquireWorkspace(p, 1<<20)
+		p.Sleep(3 * sim.Second)
+		s.releaseWorkspace(got)
+	})
+	var res QueryResult
+	s.Sim.Spawn("q", func(p *sim.Proc) {
+		res = s.RunQuery(p, bigGrantQuery(db), 0, 0.75)
+	})
+	s.Sim.Run(sim.Time(60 * sim.Second))
+	if res.Err != nil {
+		t.Fatalf("degraded query failed: %v", res.Err)
+	}
+	if s.Ctr.DegradedPlans != 1 {
+		t.Fatalf("DegradedPlans = %d, want 1", s.Ctr.DegradedPlans)
+	}
+	if s.Ctr.DeadlineKills != 0 || s.Ctr.QueriesDone != 1 {
+		t.Fatalf("kills=%d done=%d", s.Ctr.DeadlineKills, s.Ctr.QueriesDone)
+	}
+	s.Stop()
+	s.Sim.Run(sim.Time(120 * sim.Second))
+}
+
+func TestDeadlineKillsStarvedGrant(t *testing.T) {
+	s := NewServer(Config{Seed: 23, StmtTimeout: 2 * sim.Second})
+	db := testDB()
+	s.AttachDB(db)
+	s.WarmBufferPool()
+	s.Start()
+	s.workspace = 1 << 20
+	s.Sim.Spawn("holder", func(p *sim.Proc) {
+		s.acquireWorkspace(p, 1<<20)
+	})
+	var res QueryResult
+	s.Sim.Spawn("q", func(p *sim.Proc) {
+		res = s.RunQuery(p, bigGrantQuery(db), 0, 0.75)
+	})
+	s.Sim.Run(sim.Time(60 * sim.Second))
+	if res.Err == nil || res.Err.Kind != ErrDeadline {
+		t.Fatalf("err = %v, want ErrDeadline", res.Err)
+	}
+	if !res.Err.Retryable() {
+		t.Fatal("deadline expiry should be retryable")
+	}
+	// The kill path must still have tried the degraded plan first.
+	if s.Ctr.DegradedPlans != 1 || s.Ctr.DeadlineKills != 1 || s.Ctr.QueriesFailed != 1 {
+		t.Fatalf("degraded=%d kills=%d failed=%d",
+			s.Ctr.DegradedPlans, s.Ctr.DeadlineKills, s.Ctr.QueriesFailed)
+	}
+	if res.Elapsed < 2*sim.Second {
+		t.Fatalf("killed after %v, before the 2s deadline", res.Elapsed)
+	}
+	s.Stop()
+	s.Sim.Run(sim.Time(120 * sim.Second))
+}
+
+func TestDeadlineKillsExecution(t *testing.T) {
+	// The deadline is far too short for the scan, but long enough that the
+	// (instant) grant acquisition succeeds: the kill must come from the
+	// executor's node/partition checks.
+	s := NewServer(Config{Seed: 24, StmtTimeout: sim.Microsecond})
+	db := testDB()
+	s.AttachDB(db)
+	s.WarmBufferPool()
+	s.Start()
+	var res QueryResult
+	s.Sim.Spawn("q", func(p *sim.Proc) {
+		res = s.RunQuery(p, bigGrantQuery(db), 0, 0)
+	})
+	s.Sim.Run(sim.Time(60 * sim.Second))
+	if res.Err == nil || res.Err.Kind != ErrDeadline {
+		t.Fatalf("err = %v, want ErrDeadline", res.Err)
+	}
+	if !res.Stats.Killed {
+		t.Fatal("stats not marked killed")
+	}
+	if res.Rows != nil {
+		t.Fatalf("killed query produced %d rows", len(res.Rows))
+	}
+	if s.Ctr.DeadlineKills != 1 || s.Ctr.QueriesDone != 0 {
+		t.Fatalf("kills=%d done=%d", s.Ctr.DeadlineKills, s.Ctr.QueriesDone)
+	}
+	if s.workspaceUse != 0 {
+		t.Fatalf("workspaceUse = %d after kill, want 0 (grant released)", s.workspaceUse)
+	}
+	s.Stop()
+	s.Sim.Run(sim.Time(120 * sim.Second))
+}
+
+func TestPickCoreEmptyCpusetFallsBack(t *testing.T) {
+	s := NewServer(Config{Seed: 25})
+	s.CPUs = &cgroup.CPUSet{} // no allowed cores
+	if c := s.PickCore(); c != 0 {
+		t.Fatalf("core = %d, want fallback 0", c)
+	}
+	if s.Ctr.CpusetFallbacks != 1 {
+		t.Fatalf("CpusetFallbacks = %d, want 1", s.Ctr.CpusetFallbacks)
+	}
+}
+
+func TestFaultReserveStarvesAndReleasesGrants(t *testing.T) {
+	s := NewServer(Config{Seed: 26})
+	s.workspace = 1 << 20
+	s.SetFaultReserve(1 << 20) // whole workspace reserved away
+	granted := int64(-1)
+	s.Sim.Spawn("q", func(p *sim.Proc) {
+		granted = s.acquireWorkspace(p, 1<<19)
+	})
+	s.Sim.Run(sim.Time(sim.Second))
+	if granted != -1 {
+		t.Fatalf("grant returned %d while reserve held the workspace", granted)
+	}
+	s.SetFaultReserve(0) // clearing the reserve wakes the waiter
+	s.Sim.Run(sim.Time(2 * sim.Second))
+	if granted != 1<<19 {
+		t.Fatalf("granted = %d after reserve cleared, want %d", granted, int64(1<<19))
 	}
 }

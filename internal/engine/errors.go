@@ -1,0 +1,51 @@
+package engine
+
+import (
+	"fmt"
+
+	"repro/internal/sim"
+)
+
+// ErrKind classifies why a statement failed.
+type ErrKind int
+
+// Error kinds.
+const (
+	ErrCanceled ErrKind = iota + 1 // server shutdown while the statement waited
+	ErrDeadline                    // statement deadline expired
+	ErrIO                          // transient device error exhausted its retries
+	ErrVictim                      // chosen as a lock-wait victim
+)
+
+// String returns a short name for the kind.
+func (k ErrKind) String() string {
+	switch k {
+	case ErrCanceled:
+		return "canceled"
+	case ErrDeadline:
+		return "deadline"
+	case ErrIO:
+		return "io"
+	case ErrVictim:
+		return "victim"
+	default:
+		return fmt.Sprintf("errkind(%d)", int(k))
+	}
+}
+
+// QueryError is the typed failure a statement reports instead of running
+// unboundedly: drivers switch on Kind to decide whether to retry.
+type QueryError struct {
+	Kind ErrKind
+	Op   string   // what was executing ("grant", "exec", "commit", ...)
+	At   sim.Time // simulated time of the failure
+}
+
+// Error implements error.
+func (e *QueryError) Error() string {
+	return fmt.Sprintf("engine: %s during %s at %v", e.Kind, e.Op, e.At)
+}
+
+// Retryable reports whether a bounded retry is worthwhile. Shutdown
+// cancellation is terminal; everything else is transient.
+func (e *QueryError) Retryable() bool { return e.Kind != ErrCanceled }

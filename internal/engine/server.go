@@ -34,6 +34,17 @@ type Config struct {
 	GrantFrac       float64 // per-query grant cap as a fraction of workspace
 	CostThresholdNs float64
 
+	// StmtTimeout is the statement deadline (0 = none, the baseline).
+	// A statement that cannot finish by its deadline is killed with a
+	// typed ErrDeadline QueryError; halfway to the deadline a query
+	// still waiting on its grant is re-planned at lower DOP and grant
+	// (graceful degradation) before being killed.
+	StmtTimeout sim.Duration
+
+	// Retry is the driver-visible retry policy. The zero value disables
+	// retries; drivers consult it via Cfg.Retry.
+	Retry RetryPolicy
+
 	Cost *access.CostModel
 }
 
@@ -75,12 +86,14 @@ type Server struct {
 
 	workspace    int64 // query workspace bytes
 	workspaceUse int64
+	faultReserve int64 // workspace stolen by fault injection (grant starvation)
 	grantQ       sim.WaitQueue
 
-	nextCore int
-	stopped  bool
-	tempBase uint64
-	metaBase uint64
+	nextCore  int
+	stopped   bool
+	stopHooks []func()
+	tempBase  uint64
+	metaBase  uint64
 }
 
 // NewServer builds a server and its background services.
@@ -163,7 +176,31 @@ func (s *Server) Stop() {
 	s.Log.Stop()
 	s.BP.Stop()
 	s.Smp.Stop()
+	for _, fn := range s.stopHooks {
+		fn()
+	}
 	s.grantQ.WakeAll(s.Sim) // let parked grant waiters observe shutdown
+}
+
+// AddStopHook registers fn to run during Stop — how auxiliary services
+// bound to this server (e.g. a fault injector) are shut down with it.
+func (s *Server) AddStopHook(fn func()) { s.stopHooks = append(s.stopHooks, fn) }
+
+// WorkspaceBytes returns the configured query workspace size.
+func (s *Server) WorkspaceBytes() int64 { return s.workspace }
+
+// SetFaultReserve reserves bytes of workspace away from query grants (the
+// fault injector's grant-starvation axis); 0 clears the reservation.
+// Waiters are woken so they re-evaluate against the new capacity.
+func (s *Server) SetFaultReserve(bytes int64) {
+	if bytes < 0 {
+		bytes = 0
+	}
+	if bytes > s.workspace {
+		bytes = s.workspace
+	}
+	s.faultReserve = bytes
+	s.grantQ.WakeAll(s.Sim)
 }
 
 // Stopped reports whether shutdown was requested.
@@ -205,9 +242,15 @@ func (s *Server) WarmBufferPool() {
 	}
 }
 
-// PickCore assigns a session to an allowed core round-robin.
+// PickCore assigns a session to an allowed core round-robin. An empty
+// cpuset (possible transiently while a fault or reconfiguration swaps the
+// allowed set) falls back to core 0 rather than panicking.
 func (s *Server) PickCore() int {
 	ids := s.CPUs.Allowed()
+	if len(ids) == 0 {
+		s.Ctr.CpusetFallbacks++
+		return 0
+	}
 	c := ids[s.nextCore%len(ids)]
 	s.nextCore++
 	return c
@@ -267,15 +310,42 @@ func (s *Server) acquireWorkspace(p *sim.Proc, bytes int64) int64 {
 		bytes = s.workspace
 	}
 	start := p.Now()
-	for s.workspaceUse+bytes > s.workspace && !s.stopped {
+	for s.workspaceUse+bytes > s.workspace-s.faultReserve && !s.stopped {
 		s.grantQ.Wait(p)
 	}
 	s.Ctr.AddWait(metrics.WaitResourceSem, sim.Duration(p.Now()-start))
-	if s.workspaceUse+bytes > s.workspace {
+	if s.workspaceUse+bytes > s.workspace-s.faultReserve {
 		return 0 // woken by Stop, not by capacity
 	}
 	s.workspaceUse += bytes
 	return bytes
+}
+
+// acquireWorkspaceUntil is acquireWorkspace with a give-up time: when the
+// grant is still unavailable at limit it returns (0, true) so the caller
+// can degrade or kill the statement instead of queueing forever.
+func (s *Server) acquireWorkspaceUntil(p *sim.Proc, bytes int64, limit sim.Time) (granted int64, timedOut bool) {
+	if bytes > s.workspace {
+		bytes = s.workspace
+	}
+	start := p.Now()
+	for s.workspaceUse+bytes > s.workspace-s.faultReserve && !s.stopped {
+		rem := sim.Duration(limit - p.Now())
+		if rem <= 0 {
+			timedOut = true
+			break
+		}
+		s.grantQ.WaitTimeout(p, rem)
+	}
+	s.Ctr.AddWait(metrics.WaitResourceSem, sim.Duration(p.Now()-start))
+	if timedOut {
+		return 0, true
+	}
+	if s.workspaceUse+bytes > s.workspace-s.faultReserve {
+		return 0, false // woken by Stop
+	}
+	s.workspaceUse += bytes
+	return bytes, false
 }
 
 func (s *Server) releaseWorkspace(bytes int64) {
@@ -286,28 +356,88 @@ func (s *Server) releaseWorkspace(bytes int64) {
 	s.grantQ.WakeAll(s.Sim)
 }
 
-// QueryResult is one analytical query execution.
+// QueryResult is one analytical query execution. Err is non-nil when the
+// statement failed (canceled, deadline, IO); Rows are then nil.
 type QueryResult struct {
 	Rows    []exec.Row
 	Stats   exec.QueryStats
 	Info    opt.PlanInfo
 	Elapsed sim.Duration
+	Err     *QueryError
 }
 
 // RunQuery optimizes and executes a logical query on the session proc.
 // maxdopHint mirrors the MAXDOP query hint (0 = server setting); grantPct
 // overrides the per-query grant cap when > 0 (the paper's Section 8
 // query-memory-limit knob).
+//
+// With Cfg.StmtTimeout set, the statement runs under a deadline: a query
+// still waiting for its memory grant halfway to the deadline is
+// re-planned at half the DOP and a quarter of the grant (degrading
+// gracefully under sustained pressure instead of queueing forever); one
+// that cannot start or finish by the deadline fails with ErrDeadline.
 func (s *Server) RunQuery(p *sim.Proc, q *opt.LNode, maxdopHint int, grantPct float64) QueryResult {
 	start := p.Now()
+	var deadline sim.Time
+	if s.Cfg.StmtTimeout > 0 {
+		deadline = start + sim.Time(s.Cfg.StmtTimeout)
+	}
 	dop := s.EffectiveDop(maxdopHint)
 	pl := s.Planner(dop)
 	if grantPct > 0 {
 		pl.GrantFrac = grantPct
 	}
 	plan, info := pl.Plan(q)
+
+	fail := func(kind ErrKind, op string) QueryResult {
+		return QueryResult{
+			Info: info, Elapsed: sim.Duration(p.Now() - start),
+			Err: &QueryError{Kind: kind, Op: op, At: p.Now()},
+		}
+	}
+	var granted int64
 	if info.GrantBytes > 0 {
-		if granted := s.acquireWorkspace(p, info.GrantBytes); granted > 0 {
+		if deadline == 0 {
+			granted = s.acquireWorkspace(p, info.GrantBytes)
+			if granted == 0 {
+				// Woken by Stop with no capacity: executing anyway would run
+				// an unreserved-memory query during shutdown.
+				s.Ctr.QueriesCanceled++
+				return fail(ErrCanceled, "grant")
+			}
+		} else {
+			// Wait at most half the remaining deadline for the full grant.
+			var timedOut bool
+			granted, timedOut = s.acquireWorkspaceUntil(p, info.GrantBytes, start+(deadline-start)/2)
+			if timedOut {
+				// Degrade: re-plan at half the DOP and a quarter of the
+				// grant, then wait out the rest of the deadline.
+				s.Ctr.DegradedPlans++
+				if dop = info.Dop / 2; dop < 1 {
+					dop = 1
+				}
+				pl = s.Planner(dop)
+				gf := s.Cfg.GrantFrac
+				if grantPct > 0 {
+					gf = grantPct
+				}
+				pl.GrantFrac = gf / 4
+				plan, info = pl.Plan(q)
+				if info.GrantBytes > 0 {
+					granted, timedOut = s.acquireWorkspaceUntil(p, info.GrantBytes, deadline)
+					if timedOut {
+						s.Ctr.DeadlineKills++
+						s.Ctr.QueriesFailed++
+						return fail(ErrDeadline, "grant")
+					}
+				}
+			}
+			if info.GrantBytes > 0 && granted == 0 {
+				s.Ctr.QueriesCanceled++
+				return fail(ErrCanceled, "grant")
+			}
+		}
+		if granted > 0 {
 			defer s.releaseWorkspace(granted)
 		}
 	}
@@ -319,10 +449,21 @@ func (s *Server) RunQuery(p *sim.Proc, q *opt.LNode, maxdopHint int, grantPct fl
 		TempRegion: s.tempBase,
 		MetaBase:   s.metaBase,
 		Home:       s.PickCore(),
+		Deadline:   deadline,
 	}
 	rows, st := exec.Run(p, env, plan)
-	s.Ctr.QueriesDone++
-	return QueryResult{Rows: rows, Stats: st, Info: info, Elapsed: sim.Duration(p.Now() - start)}
+	res := QueryResult{Rows: rows, Stats: st, Info: info, Elapsed: sim.Duration(p.Now() - start)}
+	if err := p.TakeFail(); err != nil {
+		s.Ctr.QueriesFailed++
+		res.Err = &QueryError{Kind: ErrIO, Op: "exec", At: p.Now()}
+	} else if st.Killed {
+		s.Ctr.DeadlineKills++
+		s.Ctr.QueriesFailed++
+		res.Err = &QueryError{Kind: ErrDeadline, Op: "exec", At: p.Now()}
+	} else {
+		s.Ctr.QueriesDone++
+	}
+	return res
 }
 
 // ExplainQuery returns the chosen plan without executing it (Figure 7).

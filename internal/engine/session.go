@@ -16,11 +16,28 @@ type Session struct {
 	S   *Server
 	P   *sim.Proc
 	Ctx *access.Ctx
+
+	err *QueryError // first statement failure since the last TakeErr
 }
 
 // NewSession creates a session for the proc.
 func (s *Server) NewSession(p *sim.Proc) *Session {
 	return &Session{S: s, P: p, Ctx: s.NewCtx(p)}
+}
+
+// setErr latches the first failure of the current transaction.
+func (sess *Session) setErr(kind ErrKind, op string) {
+	if sess.err == nil {
+		sess.err = &QueryError{Kind: kind, Op: op, At: sess.P.Now()}
+	}
+}
+
+// TakeErr returns the first failure since the last call and clears it.
+// Drivers use it to decide whether (and how) to retry an aborted txn.
+func (sess *Session) TakeErr() *QueryError {
+	e := sess.err
+	sess.err = nil
+	return e
 }
 
 // Begin starts a transaction.
@@ -30,13 +47,25 @@ func (sess *Session) Begin() *txn.Txn {
 
 // Commit charges commit processing, flushes pending work, and commits
 // (group commit wait), taking the log-buffer latch briefly as the commit
-// record is formatted.
-func (sess *Session) Commit(tx *txn.Txn) {
+// record is formatted. It reports whether the transaction actually
+// committed: an unrecoverable device error during the transaction's
+// statements (deposited on the proc by the buffer pool) aborts instead.
+func (sess *Session) Commit(tx *txn.Txn) bool {
+	if err := sess.P.TakeFail(); err != nil {
+		sess.setErr(ErrIO, "commit")
+		sess.Abort(tx)
+		return false
+	}
+	// A victim-aborted transaction still pays the commit-statement charges
+	// (the client issued COMMIT and the engine processed it) but reports
+	// failure so drivers can retry.
+	committed := tx.Active()
 	sess.Ctx.CPU(sess.Ctx.Cost.TxnInstr)
 	sess.Ctx.TouchMeta(3500)
 	sess.Ctx.Flush()
 	sess.S.logLatch.Do(sess.P, 300)
 	tx.Commit(sess.P)
+	return committed
 }
 
 // stmtOverhead charges the fixed per-statement engine work (protocol,
@@ -67,6 +96,7 @@ func logRecord(tx *txn.Txn, t *storage.Table) {
 func (sess *Session) Read(tx *txn.Txn, ix *access.BTIndex, key btree.Key, nid int64) (int64, bool) {
 	sess.stmtOverhead()
 	if !tx.Lock(sess.P, lock.Key{Obj: ix.Table.ID, Row: nid}, lock.S) {
+		sess.setErr(ErrVictim, "read")
 		return 0, false
 	}
 	rowID, ok := ix.Probe(sess.Ctx, key, nid, false)
@@ -82,6 +112,7 @@ func (sess *Session) Read(tx *txn.Txn, ix *access.BTIndex, key btree.Key, nid in
 func (sess *Session) ReadRange(tx *txn.Txn, ix *access.BTIndex, from btree.Key, nid, count int64) []int64 {
 	sess.stmtOverhead()
 	if !tx.Lock(sess.P, lock.Key{Obj: ix.Table.ID, Row: -1}, lock.IS) {
+		sess.setErr(ErrVictim, "read-range")
 		return nil
 	}
 	ix.ChargeLeafRange(sess.Ctx, nid, count)
@@ -99,6 +130,7 @@ func (sess *Session) ReadRange(tx *txn.Txn, ix *access.BTIndex, from btree.Key, 
 func (sess *Session) Update(tx *txn.Txn, ix *access.BTIndex, key btree.Key, nid int64, fn func(rowID int64)) bool {
 	sess.stmtOverhead()
 	if !tx.Lock(sess.P, lock.Key{Obj: ix.Table.ID, Row: nid}, lock.U) {
+		sess.setErr(ErrVictim, "update")
 		return false
 	}
 	rowID, ok := ix.Probe(sess.Ctx, key, nid, false)
@@ -106,6 +138,7 @@ func (sess *Session) Update(tx *txn.Txn, ix *access.BTIndex, key btree.Key, nid 
 		return false
 	}
 	if !tx.Lock(sess.P, lock.Key{Obj: ix.Table.ID, Row: nid}, lock.X) {
+		sess.setErr(ErrVictim, "update")
 		return false
 	}
 	access.Heap{T: ix.Table}.ProbePoint(sess.Ctx, nid, true)
@@ -122,6 +155,7 @@ func (sess *Session) Update(tx *txn.Txn, ix *access.BTIndex, key btree.Key, nid 
 func (sess *Session) Insert(tx *txn.Txn, t *storage.Table, row []int64, indexes []*access.BTIndex, csi *access.CSI) int64 {
 	sess.stmtOverhead()
 	if !tx.Lock(sess.P, lock.Key{Obj: t.ID, Row: -1}, lock.IX) {
+		sess.setErr(ErrVictim, "insert")
 		return -1
 	}
 	heap := access.Heap{T: t}
@@ -136,6 +170,7 @@ func (sess *Session) Insert(tx *txn.Txn, t *storage.Table, row []int64, indexes 
 	if !tx.Lock(sess.P, lock.Key{Obj: t.ID, Row: nid}, lock.X) {
 		// Victim mid-insert: the nominal append stands (a ghost row),
 		// as after a rolled-back insert awaiting cleanup.
+		sess.setErr(ErrVictim, "insert")
 		t.DeleteNominal()
 		return -1
 	}
@@ -161,6 +196,7 @@ func (sess *Session) Insert(tx *txn.Txn, t *storage.Table, row []int64, indexes 
 func (sess *Session) Delete(tx *txn.Txn, ix *access.BTIndex, key btree.Key, nid int64) bool {
 	sess.stmtOverhead()
 	if !tx.Lock(sess.P, lock.Key{Obj: ix.Table.ID, Row: nid}, lock.U) {
+		sess.setErr(ErrVictim, "delete")
 		return false
 	}
 	_, ok := ix.Probe(sess.Ctx, key, nid, false)
@@ -168,6 +204,7 @@ func (sess *Session) Delete(tx *txn.Txn, ix *access.BTIndex, key btree.Key, nid 
 		return false
 	}
 	if !tx.Lock(sess.P, lock.Key{Obj: ix.Table.ID, Row: nid}, lock.X) {
+		sess.setErr(ErrVictim, "delete")
 		return false
 	}
 	access.Heap{T: ix.Table}.ProbePoint(sess.Ctx, nid, true)

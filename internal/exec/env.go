@@ -54,6 +54,34 @@ type Env struct {
 	// queries from different sessions spread across the cpuset instead of
 	// piling onto one scheduler.
 	Home int
+
+	// Deadline is the statement deadline (0 = none). Operators check it
+	// at node boundaries and between partitions; once it passes, the
+	// query stops doing work and reports QueryStats.Killed.
+	Deadline sim.Time
+
+	killed bool  // deadline expired mid-execution
+	ioErr  error // first unrecoverable device error from any worker
+}
+
+// expired reports whether the deadline has passed, latching the killed
+// flag on first expiry so every subsequent check short-circuits.
+func (e *Env) expired(now sim.Time) bool {
+	if e.killed {
+		return true
+	}
+	if e.Deadline > 0 && now >= e.Deadline {
+		e.killed = true
+		return true
+	}
+	return false
+}
+
+// noteFail records the first unrecoverable failure seen by any worker.
+func (e *Env) noteFail(err error) {
+	if e.ioErr == nil {
+		e.ioErr = err
+	}
 }
 
 // home returns the coordinator core, defaulting to the first allowed.
@@ -114,9 +142,15 @@ func (e *Env) parallel(p *sim.Proc, nParts int, f func(ctx *access.Ctx, part int
 	if dop <= 1 {
 		ctx := e.newCtx(p, e.home())
 		for part := 0; part < nParts; part++ {
+			if e.expired(p.Now()) {
+				break
+			}
 			f(ctx, part)
 		}
 		ctx.Flush()
+		if err := p.TakeFail(); err != nil {
+			e.noteFail(err)
+		}
 		return
 	}
 	remaining := dop
@@ -129,9 +163,15 @@ func (e *Env) parallel(p *sim.Proc, nParts int, f func(ctx *access.Ctx, part int
 			// Thread startup / exchange setup cost.
 			ctx.Stall(e.Cost.WorkerStartNs)
 			for part := w; part < nParts; part += dop {
+				if e.expired(wp.Now()) {
+					break
+				}
 				f(ctx, part)
 			}
 			ctx.Flush()
+			if err := wp.TakeFail(); err != nil {
+				e.noteFail(err)
+			}
 			remaining--
 			if remaining == 0 {
 				done.WakeAll(e.Sim)
@@ -150,6 +190,7 @@ type QueryStats struct {
 	SpillBytes int64
 	GrantBytes int64
 	UsedBytes  int64
+	Killed     bool // statement deadline expired mid-execution
 }
 
 // Grant is a query's workspace memory grant (nominal bytes). Memory-

@@ -15,6 +15,21 @@ func Run(p *sim.Proc, env *Env, root *Node) ([]Row, QueryStats) {
 	rows := runNode(p, env, root, &st)
 	st.OutRows = len(rows)
 	st.UsedBytes = env.Grant.Used()
+	// Collect failures: the coordinator's own sticky error plus anything
+	// workers deposited via noteFail. A killed or failed query yields no
+	// rows; the failure is re-deposited on the coordinator proc for the
+	// engine to surface as a typed QueryError.
+	if err := p.TakeFail(); err != nil {
+		env.noteFail(err)
+	}
+	st.Killed = env.killed
+	if env.ioErr != nil {
+		p.SetFail(env.ioErr)
+	}
+	if env.killed || env.ioErr != nil {
+		rows = nil
+		st.OutRows = 0
+	}
 	return rows, st
 }
 
@@ -26,6 +41,9 @@ func grantBytes(g *Grant) int64 {
 }
 
 func runNode(p *sim.Proc, env *Env, n *Node, st *QueryStats) []Row {
+	if env.expired(p.Now()) {
+		return nil
+	}
 	switch n.Kind {
 	case KRowScan:
 		return runRowScan(p, env, n)

@@ -1,0 +1,252 @@
+// Package fault implements seeded, deterministic fault injection for the
+// simulated engine. An Injector schedules transient fault events off the
+// sim clock — IO stalls and errors, WAL-device slowdowns, buffer-pool
+// pressure spikes, workspace-grant starvation, and mid-run cpuset
+// shrinks — so resilience experiments reproduce bit-identically: the same
+// seed and config yield the same fault timeline, and a disabled config
+// injects nothing at all (no procs spawned, no RNG draws), leaving
+// fault-free runs byte-for-byte identical to a build without the
+// injector.
+//
+// The injector draws from its own RNG seeded independently of the
+// simulation's, so enabling faults never perturbs the workload's random
+// streams — throughput differences between a faulted and a fault-free run
+// are attributable to the faults alone.
+package fault
+
+import (
+	"repro/internal/buffer"
+	"repro/internal/cgroup"
+	"repro/internal/iodev"
+	"repro/internal/metrics"
+	"repro/internal/sim"
+	"repro/internal/wal"
+)
+
+// Axis configures one class of fault event. Events arrive as a Poisson
+// process at Rate events per simulated second (scaled by the config's
+// Intensity) and last an exponentially distributed duration with mean
+// DurNs. Magnitude is the axis-specific severity while an event is
+// active. A zero Rate disables the axis.
+type Axis struct {
+	Rate      float64 // mean events per simulated second (before Intensity)
+	DurNs     float64 // mean event duration in nanoseconds
+	Magnitude float64 // axis-specific severity (see Config field docs)
+}
+
+// Config selects which fault axes run and how hard.
+type Config struct {
+	// Seed seeds the injector's private RNG. Runs with equal seeds and
+	// configs produce identical fault timelines.
+	Seed int64
+
+	// Intensity is a master multiplier on every axis's Rate: the x-axis
+	// of a resilience sweep. Zero (or negative) disables all injection.
+	Intensity float64
+
+	IOStall      Axis // Magnitude: extra ns added to every device request
+	IOError      Axis // Magnitude: per-request transient failure probability
+	WALSlow      Axis // Magnitude: extra ns charged to every log flush
+	BufferSpike  Axis // Magnitude: fraction of buffer capacity stolen (0..1)
+	GrantStarve  Axis // Magnitude: fraction of workspace reserved away (0..1)
+	CpusetShrink Axis // Magnitude: fraction of allowed cores removed (0..1)
+}
+
+// DefaultConfig returns the standard fault mix used by the resilience
+// sweep at Intensity 1: a few transient events per second, each lasting
+// hundreds of milliseconds — the cadence of noisy-neighbour interference
+// rather than hard failures.
+func DefaultConfig(seed int64) Config {
+	return Config{
+		Seed:         seed,
+		Intensity:    1,
+		IOStall:      Axis{Rate: 0.5, DurNs: 200e6, Magnitude: 2e6},
+		IOError:      Axis{Rate: 0.3, DurNs: 100e6, Magnitude: 0.3},
+		WALSlow:      Axis{Rate: 0.3, DurNs: 300e6, Magnitude: 500e3},
+		BufferSpike:  Axis{Rate: 0.2, DurNs: 500e6, Magnitude: 0.5},
+		GrantStarve:  Axis{Rate: 0.2, DurNs: 500e6, Magnitude: 0.6},
+		CpusetShrink: Axis{Rate: 0.1, DurNs: 1e9, Magnitude: 0.5},
+	}
+}
+
+// Enabled reports whether this config injects anything at all.
+func (c Config) Enabled() bool {
+	if c.Intensity <= 0 {
+		return false
+	}
+	for _, ax := range []Axis{c.IOStall, c.IOError, c.WALSlow, c.BufferSpike, c.GrantStarve, c.CpusetShrink} {
+		if ax.Rate > 0 {
+			return true
+		}
+	}
+	return false
+}
+
+// GrantTarget is the slice of the engine server the grant-starvation axis
+// needs. It is an interface so this package does not import the engine
+// (which imports the packages this one targets).
+type GrantTarget interface {
+	// WorkspaceBytes returns the configured workspace size.
+	WorkspaceBytes() int64
+	// SetFaultReserve reserves bytes of workspace away from queries
+	// (0 clears the reservation and wakes grant waiters).
+	SetFaultReserve(bytes int64)
+}
+
+// Targets are the subsystems the injector acts on. Nil targets disable
+// the corresponding axes.
+type Targets struct {
+	Dev    *iodev.Device
+	Log    *wal.Log
+	BP     *buffer.Pool
+	CPUs   *cgroup.CPUSet
+	Grants GrantTarget
+	Ctr    *metrics.Counters
+}
+
+// Injector drives the fault timeline for one simulation run.
+type Injector struct {
+	sm  *sim.Sim
+	cfg Config
+	t   Targets
+
+	// One forked stream per axis, plus one for the device fault state's
+	// per-request draws. Forked unconditionally in a fixed order so that
+	// enabling or tuning one axis never shifts another's stream.
+	axisRNG [6]*sim.RNG
+	devRNG  *sim.RNG
+
+	stopped bool
+}
+
+// New creates an injector. Nothing runs until Start.
+func New(sm *sim.Sim, cfg Config, t Targets) *Injector {
+	in := &Injector{sm: sm, cfg: cfg, t: t}
+	root := sim.NewRNG(cfg.Seed)
+	for i := range in.axisRNG {
+		in.axisRNG[i] = root.Fork()
+	}
+	in.devRNG = root.Fork()
+	return in
+}
+
+// Stop ends injection: axis procs exit at their next wakeup, restoring
+// their targets on the way out.
+func (in *Injector) Stop() { in.stopped = true }
+
+// Start spawns one proc per enabled axis. A disabled config spawns
+// nothing, preserving baseline determinism.
+func (in *Injector) Start() {
+	if !in.cfg.Enabled() {
+		return
+	}
+	var devFault *iodev.Fault
+	if in.t.Dev != nil {
+		devFault = iodev.NewFault(in.devRNG)
+		in.t.Dev.SetFault(devFault)
+	}
+	if devFault != nil {
+		stall := in.cfg.IOStall.Magnitude
+		in.axis("io-stall", in.cfg.IOStall, in.axisRNG[0],
+			func() { devFault.ReadStallNs, devFault.WriteStallNs = stall, stall },
+			func() { devFault.ReadStallNs, devFault.WriteStallNs = 0, 0 })
+		prob := in.cfg.IOError.Magnitude
+		in.axis("io-error", in.cfg.IOError, in.axisRNG[1],
+			func() {
+				devFault.ReadErrProb, devFault.WriteErrProb = prob, prob
+				devFault.RetryNs = 1e6 // driver retry penalty per failed attempt
+			},
+			func() { devFault.ReadErrProb, devFault.WriteErrProb, devFault.RetryNs = 0, 0, 0 })
+	}
+	if in.t.Log != nil {
+		penalty := in.cfg.WALSlow.Magnitude
+		in.axis("wal-slow", in.cfg.WALSlow, in.axisRNG[2],
+			func() { in.t.Log.SetFlushPenalty(penalty) },
+			func() { in.t.Log.SetFlushPenalty(0) })
+	}
+	if in.t.BP != nil {
+		frac := 1 - clampFrac(in.cfg.BufferSpike.Magnitude)
+		in.axis("buffer-spike", in.cfg.BufferSpike, in.axisRNG[3],
+			func() { in.t.BP.SetCapacityFrac(frac) },
+			func() { in.t.BP.SetCapacityFrac(1) })
+	}
+	if in.t.Grants != nil {
+		frac := clampFrac(in.cfg.GrantStarve.Magnitude)
+		in.axis("grant-starve", in.cfg.GrantStarve, in.axisRNG[4],
+			func() {
+				in.t.Grants.SetFaultReserve(int64(frac * float64(in.t.Grants.WorkspaceBytes())))
+			},
+			func() { in.t.Grants.SetFaultReserve(0) })
+	}
+	if in.t.CPUs != nil {
+		keep := 1 - clampFrac(in.cfg.CpusetShrink.Magnitude)
+		var saved []int
+		in.axis("cpuset-shrink", in.cfg.CpusetShrink, in.axisRNG[5],
+			func() {
+				saved = append(saved[:0], in.t.CPUs.Allowed()...)
+				n := int(float64(len(saved)) * keep)
+				if n < 1 {
+					n = 1
+				}
+				in.t.CPUs.AllowN(n)
+			},
+			func() {
+				if len(saved) > 0 {
+					in.t.CPUs.Allow(saved)
+				}
+			})
+	}
+}
+
+func clampFrac(f float64) float64 {
+	if f < 0 {
+		return 0
+	}
+	if f > 1 {
+		return 1
+	}
+	return f
+}
+
+// axis spawns the event loop for one fault axis: exponential gaps between
+// events, exponential event durations, apply/clear around each event.
+// clear always runs after apply, including on shutdown mid-event.
+func (in *Injector) axis(name string, ax Axis, rng *sim.RNG, apply, clear func()) {
+	rate := ax.Rate * in.cfg.Intensity
+	if rate <= 0 {
+		return
+	}
+	meanGapNs := 1e9 / rate
+	in.sm.Spawn("fault-"+name, func(p *sim.Proc) {
+		for {
+			if !in.sleep(p, sim.Duration(rng.Exp(meanGapNs))) {
+				return
+			}
+			in.t.Ctr.FaultsInjected++
+			apply()
+			ok := in.sleep(p, sim.Duration(rng.Exp(ax.DurNs)))
+			clear()
+			if !ok {
+				return
+			}
+		}
+	})
+}
+
+// sleep sleeps for d in bounded hops so the proc notices Stop promptly
+// (the post-Stop drain window is finite). It reports false once stopped.
+func (in *Injector) sleep(p *sim.Proc, d sim.Duration) bool {
+	const hop = 5 * sim.Second
+	for d > 0 {
+		if in.stopped {
+			return false
+		}
+		h := d
+		if h > hop {
+			h = hop
+		}
+		p.Sleep(h)
+		d -= h
+	}
+	return !in.stopped
+}

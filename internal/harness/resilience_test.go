@@ -1,0 +1,78 @@
+package harness
+
+import (
+	"reflect"
+	"strings"
+	"testing"
+
+	"repro/internal/engine"
+	"repro/internal/fault"
+	"repro/internal/sim"
+)
+
+// TestFaultFreeKnobsMatchBaseline pins the tentpole's determinism
+// guarantee: a disabled fault config must leave a run byte-identical to
+// one that never mentions faults at all.
+func TestFaultFreeKnobsMatchBaseline(t *testing.T) {
+	opt := TestOptions()
+	fc := fault.DefaultConfig(opt.Seed)
+	fc.Intensity = 0 // disabled: the injector must not even start
+	a := RunASDB(2, opt, Knobs{})
+	b := RunASDB(2, opt, Knobs{Faults: &fc})
+	if !reflect.DeepEqual(a, b) {
+		t.Fatalf("fault-free run diverged from baseline:\n%+v\nvs\n%+v", a.Delta, b.Delta)
+	}
+}
+
+// TestFaultedRunDeterminism: same seed and fault config, identical
+// results — including the fault timeline and every recovery counter.
+func TestFaultedRunDeterminism(t *testing.T) {
+	opt := TestOptions()
+	knobs := func() Knobs {
+		fc := fault.DefaultConfig(opt.Seed)
+		fc.Intensity = 4
+		return Knobs{
+			Faults:      &fc,
+			StmtTimeout: 30 * sim.Second,
+			Retry:       engine.DefaultRetryPolicy(),
+		}
+	}
+	a := RunASDB(2, opt, knobs())
+	b := RunASDB(2, opt, knobs())
+	if !reflect.DeepEqual(a, b) {
+		t.Fatalf("faulted runs diverged:\n%+v\nvs\n%+v", a.Delta, b.Delta)
+	}
+	if a.Delta.FaultsInjected == 0 {
+		t.Fatal("no faults injected at intensity 4")
+	}
+	if a.Throughput <= 0 {
+		t.Fatalf("throughput = %f under faults", a.Throughput)
+	}
+}
+
+func TestResilienceSweepEndToEnd(t *testing.T) {
+	opt := TestOptions()
+	res := Resilience(WTpce, 200, opt, []float64{0, 2})
+	if len(res.Points) != 2 {
+		t.Fatalf("points = %d", len(res.Points))
+	}
+	p0, p1 := res.Points[0], res.Points[1]
+	if p0.Retention != 1 {
+		t.Fatalf("anchor retention = %f, want 1", p0.Retention)
+	}
+	if p0.FaultsInjected != 0 {
+		t.Fatalf("anchor injected %d faults", p0.FaultsInjected)
+	}
+	if p1.FaultsInjected == 0 {
+		t.Fatal("intensity 2 injected no faults")
+	}
+	if p1.Throughput <= 0 {
+		t.Fatalf("throughput = %f under faults", p1.Throughput)
+	}
+	out := res.String()
+	for _, col := range []string{"intensity", "retain%", "txn-rtry", "dl-kill"} {
+		if !strings.Contains(out, col) {
+			t.Fatalf("rendered table missing %q:\n%s", col, out)
+		}
+	}
+}

@@ -8,6 +8,7 @@ package harness
 
 import (
 	"repro/internal/engine"
+	"repro/internal/fault"
 	"repro/internal/metrics"
 	"repro/internal/sim"
 	"repro/internal/workload/asdb"
@@ -24,6 +25,12 @@ type Knobs struct {
 	WriteLimitMBps float64 // blkio write limit (0 = unlimited)
 	MaxDOP         int     // resource-governor DOP cap (0 = cores)
 	GrantPct       float64 // per-query memory grant fraction (0 = default 0.25)
+
+	// Resilience knobs (the fault-injection experiments). All zero values
+	// leave a point identical to a baseline run.
+	Faults      *fault.Config      // fault injection (nil or disabled = none)
+	StmtTimeout sim.Duration       // statement deadline (0 = none)
+	Retry       engine.RetryPolicy // driver retry policy (zero = disabled)
 }
 
 // Options control scale-down density and measurement windows, so the
@@ -104,6 +111,8 @@ func newServer(opt Options, k Knobs) *engine.Server {
 	if k.GrantPct > 0 {
 		cfg.GrantFrac = k.GrantPct
 	}
+	cfg.StmtTimeout = k.StmtTimeout
+	cfg.Retry = k.Retry
 	srv := engine.NewServer(cfg)
 	if k.Cores > 0 {
 		srv.CPUs.AllowN(k.Cores)
@@ -116,6 +125,14 @@ func newServer(opt Options, k Knobs) *engine.Server {
 	}
 	if k.WriteLimitMBps > 0 {
 		srv.BlkIO.SetWriteLimit(k.WriteLimitMBps)
+	}
+	if k.Faults != nil && k.Faults.Enabled() {
+		inj := fault.New(srv.Sim, *k.Faults, fault.Targets{
+			Dev: srv.Dev, Log: srv.Log, BP: srv.BP, CPUs: srv.CPUs,
+			Grants: srv, Ctr: srv.Ctr,
+		})
+		inj.Start()
+		srv.AddStopHook(inj.Stop)
 	}
 	return srv
 }

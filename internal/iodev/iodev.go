@@ -10,9 +10,58 @@
 package iodev
 
 import (
+	"errors"
+
 	"repro/internal/metrics"
 	"repro/internal/sim"
 )
+
+// ErrTransient is the transient device failure surfaced by a fault. It
+// models media retries, link resets, and the other recoverable errors a
+// real NVMe driver reports; callers are expected to retry.
+var ErrTransient = errors.New("iodev: transient device error")
+
+// Fault is fault-injection state installed on a device by a fault
+// injector (package fault). Fields are toggled by the injector while a
+// fault event is active and zeroed between events; a nil *Fault on the
+// device is the (default) fast path with no per-request overhead.
+type Fault struct {
+	ReadStallNs  float64 // extra latency added to every read while active
+	WriteStallNs float64 // extra latency added to every write while active
+	ReadErrProb  float64 // per-read transient failure probability
+	WriteErrProb float64 // per-write transient failure probability
+	RetryNs      float64 // device/driver retry penalty per failed attempt
+
+	rng *sim.RNG
+}
+
+// maxErrProb caps failure probabilities so retry loops terminate quickly;
+// a fault injector asking for certainty still leaves retries a way out.
+const maxErrProb = 0.9
+
+// NewFault creates fault state drawing from the given deterministic RNG.
+func NewFault(rng *sim.RNG) *Fault {
+	return &Fault{rng: rng}
+}
+
+// apply charges the fault's stall to p and reports whether this request
+// fails transiently. It is called once per device request attempt.
+func (f *Fault) apply(p *sim.Proc, stallNs, errProb float64, ctr *metrics.Counters) bool {
+	if stallNs > 0 {
+		p.Sleep(sim.Duration(stallNs))
+	}
+	if errProb > maxErrProb {
+		errProb = maxErrProb
+	}
+	if errProb > 0 && f.rng.Bool(errProb) {
+		ctr.FaultIOErrors++
+		if f.RetryNs > 0 {
+			p.Sleep(sim.Duration(f.RetryNs))
+		}
+		return true
+	}
+	return false
+}
 
 // Spec describes a device.
 type Spec struct {
@@ -76,6 +125,8 @@ type Device struct {
 
 	readThrottle  *Throttle
 	writeThrottle *Throttle
+
+	fault *Fault
 }
 
 // New creates a device.
@@ -94,11 +145,33 @@ func (d *Device) SetThrottles(read, write *Throttle) {
 	d.writeThrottle = write
 }
 
+// SetFault installs fault-injection state (nil = no faults).
+func (d *Device) SetFault(f *Fault) { d.fault = f }
+
+// FaultState returns the installed fault state, if any.
+func (d *Device) FaultState() *Fault { return d.fault }
+
 // Read blocks p for the duration of a read of the given size and returns
-// the total time spent (throttle + queue + transfer + latency).
+// the total time spent (throttle + queue + transfer + latency). Transient
+// fault-injected failures are absorbed here: the device retries until the
+// request succeeds, charging the fault's retry penalty each attempt — the
+// model for driver-level recovery invisible to the caller.
 func (d *Device) Read(p *sim.Proc, bytes int64) sim.Duration {
+	start := p.Now()
+	for {
+		if _, err := d.ReadErr(p, bytes); err == nil {
+			return sim.Duration(p.Now() - start)
+		}
+	}
+}
+
+// ReadErr performs one read attempt: it charges the full transfer and any
+// fault-injected stall, and returns ErrTransient when the installed fault
+// fails the request. Callers that can propagate errors (the buffer pool)
+// use this and own the retry policy; fire-and-forget callers use Read.
+func (d *Device) ReadErr(p *sim.Proc, bytes int64) (sim.Duration, error) {
 	if bytes <= 0 {
-		return 0
+		return 0, nil
 	}
 	start := p.Now()
 	tDelay := d.readThrottle.reserve(p.Now(), bytes)
@@ -118,7 +191,10 @@ func (d *Device) Read(p *sim.Proc, bytes int64) sim.Duration {
 	p.Sleep(delay + sim.Duration(d.Spec.ReadLatNs))
 	d.Ctr.SSDReadBytes += bytes
 	d.Ctr.SSDReadOps++
-	return sim.Duration(p.Now() - start)
+	if f := d.fault; f != nil && f.apply(p, f.ReadStallNs, f.ReadErrProb, d.Ctr) {
+		return sim.Duration(p.Now() - start), ErrTransient
+	}
+	return sim.Duration(p.Now() - start), nil
 }
 
 // WriteAsync charges a write to the device (and its throttle reservation)
@@ -139,9 +215,22 @@ func (d *Device) WriteAsync(now sim.Time, bytes int64) {
 }
 
 // Write blocks p for the duration of a write and returns the time spent.
+// Like Read, transient fault-injected failures are retried internally
+// until the write lands.
 func (d *Device) Write(p *sim.Proc, bytes int64) sim.Duration {
+	start := p.Now()
+	for {
+		if _, err := d.WriteErr(p, bytes); err == nil {
+			return sim.Duration(p.Now() - start)
+		}
+	}
+}
+
+// WriteErr performs one write attempt, returning ErrTransient when the
+// installed fault fails the request.
+func (d *Device) WriteErr(p *sim.Proc, bytes int64) (sim.Duration, error) {
 	if bytes <= 0 {
-		return 0
+		return 0, nil
 	}
 	start := p.Now()
 	tDelay := d.writeThrottle.reserve(p.Now(), bytes)
@@ -161,5 +250,8 @@ func (d *Device) Write(p *sim.Proc, bytes int64) sim.Duration {
 	p.Sleep(delay + sim.Duration(d.Spec.WriteLatNs))
 	d.Ctr.SSDWriteBytes += bytes
 	d.Ctr.SSDWriteOps++
-	return sim.Duration(p.Now() - start)
+	if f := d.fault; f != nil && f.apply(p, f.WriteStallNs, f.WriteErrProb, d.Ctr) {
+		return sim.Duration(p.Now() - start), ErrTransient
+	}
+	return sim.Duration(p.Now() - start), nil
 }

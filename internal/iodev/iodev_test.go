@@ -114,3 +114,50 @@ func TestZeroByteRequestsFree(t *testing.T) {
 		t.Fatalf("zero requests cost time: %v %v", rd, wr)
 	}
 }
+
+func TestFaultStallSlowsRequests(t *testing.T) {
+	s := sim.New(1)
+	d := New(PaperSSD(), &metrics.Counters{})
+	var clean, stalled sim.Duration
+	s.Spawn("r", func(p *sim.Proc) {
+		clean = d.Read(p, 1<<20)
+		f := NewFault(sim.NewRNG(5))
+		f.ReadStallNs = 5e6
+		d.SetFault(f)
+		stalled = d.Read(p, 1<<20)
+	})
+	s.Run(sim.Time(10 * sim.Second))
+	if stalled < clean+sim.Duration(5e6) {
+		t.Fatalf("stall not applied: clean=%v stalled=%v", clean, stalled)
+	}
+}
+
+func TestFaultErrorsAbsorbedByRead(t *testing.T) {
+	s := sim.New(1)
+	ctr := &metrics.Counters{}
+	d := New(PaperSSD(), ctr)
+	f := NewFault(sim.NewRNG(5))
+	f.ReadErrProb = 1 // capped internally below 1 so retries terminate
+	f.RetryNs = 1e4
+	d.SetFault(f)
+	sawErr := false
+	s.Spawn("r", func(p *sim.Proc) {
+		for i := 0; i < 50; i++ {
+			if _, err := d.ReadErr(p, 4<<10); err != nil {
+				if err != ErrTransient {
+					t.Errorf("err = %v, want ErrTransient", err)
+				}
+				sawErr = true
+			}
+			// The absorbing variant must always succeed.
+			d.Read(p, 4<<10)
+		}
+	})
+	s.Run(sim.Time(60 * sim.Second))
+	if !sawErr {
+		t.Fatal("ReadErr never failed at ErrProb=1")
+	}
+	if ctr.FaultIOErrors == 0 {
+		t.Fatal("FaultIOErrors not counted")
+	}
+}

@@ -79,6 +79,19 @@ type Counters struct {
 	BufferMisses int64
 	Spills       int64
 
+	// Robustness counters: fault injection, error recovery, and graceful
+	// degradation under transient resource faults.
+	FaultsInjected  int64 // fault events started by the injector
+	FaultIOErrors   int64 // device requests failed transiently by a fault
+	IORetries       int64 // storage-layer retries of failed device reads
+	TxnRetries      int64 // driver-level transaction retries (victim/IO)
+	QueryRetries    int64 // driver-level analytical query retries
+	DeadlineKills   int64 // statements aborted at their deadline
+	DegradedPlans   int64 // queries re-planned at lower DOP/grant
+	QueriesFailed   int64 // queries that returned a QueryError
+	QueriesCanceled int64 // queries bailed out at server shutdown
+	CpusetFallbacks int64 // core picks that fell back to core 0 (empty cpuset)
+
 	WaitNs [NumWaitClasses]int64
 }
 
@@ -109,6 +122,17 @@ func (c Counters) Sub(o Counters) Counters {
 		BufferHits:     c.BufferHits - o.BufferHits,
 		BufferMisses:   c.BufferMisses - o.BufferMisses,
 		Spills:         c.Spills - o.Spills,
+
+		FaultsInjected:  c.FaultsInjected - o.FaultsInjected,
+		FaultIOErrors:   c.FaultIOErrors - o.FaultIOErrors,
+		IORetries:       c.IORetries - o.IORetries,
+		TxnRetries:      c.TxnRetries - o.TxnRetries,
+		QueryRetries:    c.QueryRetries - o.QueryRetries,
+		DeadlineKills:   c.DeadlineKills - o.DeadlineKills,
+		DegradedPlans:   c.DegradedPlans - o.DegradedPlans,
+		QueriesFailed:   c.QueriesFailed - o.QueriesFailed,
+		QueriesCanceled: c.QueriesCanceled - o.QueriesCanceled,
+		CpusetFallbacks: c.CpusetFallbacks - o.CpusetFallbacks,
 	}
 	for i := range d.WaitNs {
 		d.WaitNs[i] = c.WaitNs[i] - o.WaitNs[i]

@@ -106,6 +106,25 @@ type Proc struct {
 	waiting bool   // parked on a WaitQueue (woken by WakeOne/WakeAll)
 	epoch   uint64 // increments on every resume; stale wakeups are dropped
 	done    bool
+	fail    error // errno-style sticky failure slot (see SetFail)
+}
+
+// SetFail records a sticky failure on the proc, errno-style: a layer that
+// cannot return an error through its call chain (e.g. a buffer-pool read
+// that exhausted its device retries) deposits it here, and a higher layer
+// that owns the proc (the session, the query coordinator) collects it with
+// TakeFail. The first failure wins until taken.
+func (p *Proc) SetFail(err error) {
+	if p.fail == nil {
+		p.fail = err
+	}
+}
+
+// TakeFail returns the recorded failure, if any, and clears the slot.
+func (p *Proc) TakeFail() error {
+	err := p.fail
+	p.fail = nil
+	return err
 }
 
 // Name returns the name given at Spawn.

@@ -81,3 +81,74 @@ func TestDoubleCommitIsNoOp(t *testing.T) {
 	l.Stop()
 	s.Run(sim.Time(2 * sim.Second))
 }
+
+// TestConverterStarvationVictimRetries exercises the documented residual
+// hazard of the barging admission policy: a U holder converting to X
+// starves under a continuous stream of S readers, times out as the
+// victim, aborts cleanly, and succeeds on retry once the stream drains.
+func TestConverterStarvationVictimRetries(t *testing.T) {
+	s, m, ctr, l := setup()
+	k := lock.Key{Obj: 9, Row: 1}
+	readersUntil := sim.Time(300 * sim.Millisecond)
+	// Four staggered readers, each holding S for 20ms and immediately
+	// re-acquiring: the granted S set never drains while they run.
+	for i := 0; i < 4; i++ {
+		off := sim.Duration(i) * 5 * sim.Millisecond
+		s.Spawn("reader", func(p *sim.Proc) {
+			p.Sleep(off)
+			for p.Now() < readersUntil {
+				tx := m.Begin()
+				if !tx.Lock(p, k, lock.S) {
+					continue
+				}
+				p.Sleep(20 * sim.Millisecond)
+				tx.Commit(p)
+			}
+		})
+	}
+	victim, retried := false, false
+	s.Spawn("converter", func(p *sim.Proc) {
+		p.Sleep(10 * sim.Millisecond)
+		tx := m.Begin()
+		if !tx.Lock(p, k, lock.U) {
+			t.Error("U should be granted alongside S readers")
+			return
+		}
+		if tx.Lock(p, k, lock.X) {
+			t.Error("U->X conversion succeeded under a continuous S stream")
+			return
+		}
+		victim = true
+		if tx.Active() {
+			t.Error("victim transaction still active after failed Lock")
+		}
+		if m.Locks.Held(tx.ID(), k) {
+			t.Error("victim abort leaked its U lock")
+		}
+		// Clean retry after the reader stream drains.
+		p.Sleep(sim.Duration(readersUntil-p.Now()) + 100*sim.Millisecond)
+		tx2 := m.Begin()
+		if !tx2.Lock(p, k, lock.U) || !tx2.Lock(p, k, lock.X) {
+			t.Error("retry could not lock after readers drained")
+			return
+		}
+		tx2.LogWrite(200)
+		tx2.Commit(p)
+		retried = true
+	})
+	s.Run(sim.Time(2 * sim.Second))
+	if !victim {
+		t.Fatal("converter was never made a victim")
+	}
+	if !retried {
+		t.Fatal("retry did not commit")
+	}
+	if m.Locks.Timeouts < 1 {
+		t.Fatalf("lock timeouts = %d, want >= 1", m.Locks.Timeouts)
+	}
+	if ctr.TxnAborts < 1 {
+		t.Fatalf("aborts = %d, want >= 1", ctr.TxnAborts)
+	}
+	l.Stop()
+	s.Run(sim.Time(3 * sim.Second))
+}

@@ -31,6 +31,8 @@ type Log struct {
 	writerIdle sim.WaitQueue // log writer parks here when nothing to do
 	commitQ    sim.WaitQueue // committers park here until flushedLSN advances
 
+	flushPenaltyNs float64 // fault-injected extra latency per flush
+
 	stopped bool
 }
 
@@ -52,10 +54,23 @@ func (l *Log) Start() {
 				batch = l.MaxFlushBytes
 			}
 			l.dev.Write(p, batch)
+			if l.flushPenaltyNs > 0 {
+				p.Sleep(sim.Duration(l.flushPenaltyNs))
+			}
 			l.flushedLSN += batch
 			l.commitQ.WakeAll(l.sm)
 		}
 	})
+}
+
+// SetFlushPenalty installs (or clears, with 0) a per-flush latency
+// penalty — the fault model for a slow or degraded log device, where
+// every flush pays extra firmware/driver latency.
+func (l *Log) SetFlushPenalty(ns float64) {
+	if ns < 0 {
+		ns = 0
+	}
+	l.flushPenaltyNs = ns
 }
 
 // Stop makes the log writer exit at its next wakeup.

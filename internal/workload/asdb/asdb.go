@@ -155,53 +155,53 @@ func (c *client) key(t *storage.Table, nid int64) btree.Key {
 	return btree.Key{t.Get(t.ToActual(nid), 0)}
 }
 
-func (c *client) pointRead() {
+func (c *client) pointRead() bool {
 	tx := c.sess.Begin()
 	nid := c.zBig.Next(c.g)
 	c.sess.Read(tx, c.d.PKBig, c.key(c.d.Big, nid), nid)
-	c.sess.Commit(tx)
+	return c.sess.Commit(tx)
 }
 
-func (c *client) rangeRead() {
+func (c *client) rangeRead() bool {
 	tx := c.sess.Begin()
 	nid := c.g.Int64n(c.d.Small.NominalRows())
 	c.sess.ReadRange(tx, c.d.PKSmall, c.key(c.d.Small, nid), nid, 50)
-	c.sess.Commit(tx)
+	return c.sess.Commit(tx)
 }
 
-func (c *client) joinRead() {
+func (c *client) joinRead() bool {
 	tx := c.sess.Begin()
 	fid := c.g.Int64n(c.d.Fixed.NominalRows())
 	c.sess.Read(tx, c.d.PKFixed, c.key(c.d.Fixed, fid), fid)
 	nid := c.zBig.Next(c.g)
 	c.sess.Read(tx, c.d.PKBig, c.key(c.d.Big, nid), nid)
-	c.sess.Commit(tx)
+	return c.sess.Commit(tx)
 }
 
-func (c *client) update() {
+func (c *client) update() bool {
 	tx := c.sess.Begin()
 	nid := c.zBig.Next(c.g)
 	t := c.d.Big
 	c.sess.Update(tx, c.d.PKBig, c.key(t, nid), nid, func(rowID int64) {
 		t.Set(rowID, 1, t.Get(rowID, 1)+1)
 	})
-	c.sess.Commit(tx)
+	return c.sess.Commit(tx)
 }
 
-func (c *client) insert() {
+func (c *client) insert() bool {
 	tx := c.sess.Begin()
 	id := c.d.Growing.NominalRows()
 	c.sess.Insert(tx, c.d.Growing, c.d.row(9, id),
 		[]*access.BTIndex{c.d.PKGrowing, c.d.IXGrowing}, nil)
-	c.sess.Commit(tx)
+	return c.sess.Commit(tx)
 }
 
-func (c *client) del() {
+func (c *client) del() bool {
 	tx := c.sess.Begin()
 	n := c.d.Growing.NominalRows()
 	nid := c.g.Int64n(n)
 	c.sess.Delete(tx, c.d.PKGrowing, c.key(c.d.Growing, nid), nid)
-	c.sess.Commit(tx)
+	return c.sess.Commit(tx)
 }
 
 // RunClients spawns the closed-loop client threads (the paper uses 128)
@@ -213,7 +213,7 @@ func RunClients(srv *engine.Server, d *Dataset, clients int, mix Mix, until sim.
 	type entry struct {
 		name string
 		w    float64
-		fn   func(*client)
+		fn   func(*client) bool
 	}
 	entries := []entry{
 		{"PointRead", mix.PointRead, (*client).pointRead},
@@ -227,6 +227,7 @@ func RunClients(srv *engine.Server, d *Dataset, clients int, mix Mix, until sim.
 	for _, e := range entries {
 		totalW += e.w
 	}
+	pol := srv.Cfg.Retry
 	for i := 0; i < clients; i++ {
 		srv.Sim.Spawn("asdb-client", func(p *sim.Proc) {
 			c := &client{
@@ -240,9 +241,26 @@ func RunClients(srv *engine.Server, d *Dataset, clients int, mix Mix, until sim.
 				for _, e := range entries {
 					pick -= e.w
 					if pick <= 0 {
-						e.fn(c)
-						st.ByType[e.name]++
-						st.Total++
+						ok := e.fn(c)
+						if !ok && pol.Enabled() {
+							for attempt := 1; attempt < pol.MaxAttempts && !srv.Stopped(); attempt++ {
+								if qe := c.sess.TakeErr(); qe != nil && !qe.Retryable() {
+									break
+								}
+								srv.Ctr.TxnRetries++
+								pol.Sleep(p, c.g, attempt)
+								if ok = e.fn(c); ok {
+									break
+								}
+							}
+							c.sess.TakeErr()
+						}
+						// Without a retry policy, count every attempt as
+						// the pre-retry driver did (aborts included).
+						if ok || !pol.Enabled() {
+							st.ByType[e.name]++
+							st.Total++
+						}
 						break
 					}
 				}

@@ -54,7 +54,7 @@ func RunUsers(srv *engine.Server, d *Dataset, users int, mix Mix, until sim.Time
 	type entry struct {
 		name string
 		w    float64
-		fn   func(*user)
+		fn   func(*user) bool
 	}
 	entries := []entry{
 		{"TradeOrder", mix.TradeOrder, (*user).tradeOrder},
@@ -73,6 +73,7 @@ func RunUsers(srv *engine.Server, d *Dataset, users int, mix Mix, until sim.Time
 	for _, e := range entries {
 		totalW += e.w
 	}
+	pol := srv.Cfg.Retry
 	for i := 0; i < users; i++ {
 		srv.Sim.Spawn("tpce-user", func(p *sim.Proc) {
 			u := &user{
@@ -86,9 +87,28 @@ func RunUsers(srv *engine.Server, d *Dataset, users int, mix Mix, until sim.Time
 				for _, e := range entries {
 					pick -= e.w
 					if pick <= 0 {
-						e.fn(u)
-						st.ByType[e.name]++
-						st.Total++
+						ok := e.fn(u)
+						if !ok && pol.Enabled() {
+							// Bounded retry with backoff for transient
+							// aborts (victim, IO); shutdown is terminal.
+							for attempt := 1; attempt < pol.MaxAttempts && !srv.Stopped(); attempt++ {
+								if qe := u.sess.TakeErr(); qe != nil && !qe.Retryable() {
+									break
+								}
+								srv.Ctr.TxnRetries++
+								pol.Sleep(p, u.g, attempt)
+								if ok = e.fn(u); ok {
+									break
+								}
+							}
+							u.sess.TakeErr()
+						}
+						// Without a retry policy, count every attempt as
+						// the pre-retry driver did (aborts included).
+						if ok || !pol.Enabled() {
+							st.ByType[e.name]++
+							st.Total++
+						}
 						break
 					}
 				}

@@ -49,7 +49,7 @@ func (d *Dataset) tradeIndexes() []*access.BTIndex {
 // tradeOrder executes a market buy/sell order: read the chain of
 // customer, account, broker, and the security's last trade, update the
 // account's holding summary, and insert the new trade (plus history).
-func (u *user) tradeOrder() {
+func (u *user) tradeOrder() bool {
 	d := u.d
 	tx := u.sess.Begin()
 	ca := u.pickAccount()
@@ -74,13 +74,13 @@ func (u *user) tradeOrder() {
 	u.sess.Insert(tx, d.Trade, row, d.tradeIndexes(), d.TradeCSI)
 	u.sess.Insert(tx, d.TradeHistory, []int64{tid, tid, 0},
 		[]*access.BTIndex{d.DB.Index("pk_trade_history")}, nil)
-	u.sess.Commit(tx)
+	return u.sess.Commit(tx)
 }
 
 // tradeResult completes a recent order: update account and broker
 // balances, post the execution price to last_trade, finalize the trade
 // row, and insert settlement and cash records.
-func (u *user) tradeResult() {
+func (u *user) tradeResult() bool {
 	d := u.d
 	tx := u.sess.Begin()
 	// A recently submitted trade.
@@ -126,7 +126,7 @@ func (u *user) tradeResult() {
 	if tx.Active() {
 		u.matchHolding(tx, ca, symb)
 	}
-	u.sess.Commit(tx)
+	return u.sess.Commit(tx)
 }
 
 // matchHolding consumes or creates a holding lot for (account, symbol).
@@ -161,19 +161,19 @@ func (u *user) matchHolding(tx *txn.Txn, ca, symb int64) {
 }
 
 // tradeStatus reads the fifty most recent trades of an account.
-func (u *user) tradeStatus() {
+func (u *user) tradeStatus() bool {
 	d := u.d
 	tx := u.sess.Begin()
 	ca := u.pickAccount()
 	u.sess.Read(tx, d.PKAccount, key1(ca), ca)
 	nid := d.Trade.NominalRows() * ca / d.NAcct() // position within the index
 	u.sess.ReadRange(tx, d.IXTradeAcct, btree.Key{ca}, nid, 50)
-	u.sess.Commit(tx)
+	return u.sess.Commit(tx)
 }
 
 // customerPosition reads a customer's accounts, their holding summaries,
 // and current prices.
-func (u *user) customerPosition() {
+func (u *user) customerPosition() bool {
 	d := u.d
 	tx := u.sess.Begin()
 	ca := u.pickAccount()
@@ -197,12 +197,12 @@ func (u *user) customerPosition() {
 		seen = s
 		u.sess.Read(tx, d.PKLastTrade, key1(s), s)
 	}
-	u.sess.Commit(tx)
+	return u.sess.Commit(tx)
 }
 
 // marketWatch reads the last trade of ~100 securities (ascending, to
 // respect the lock order against tradeResult's updates).
-func (u *user) marketWatch() {
+func (u *user) marketWatch() bool {
 	d := u.d
 	tx := u.sess.Begin()
 	n := d.NSec()
@@ -224,24 +224,24 @@ func (u *user) marketWatch() {
 		prev = s
 		u.sess.Read(tx, d.PKLastTrade, key1(s), s)
 	}
-	u.sess.Commit(tx)
+	return u.sess.Commit(tx)
 }
 
 // securityDetail reads a security, its company, and daily market history.
-func (u *user) securityDetail() {
+func (u *user) securityDetail() bool {
 	d := u.d
 	tx := u.sess.Begin()
 	symb := u.g.Int64n(d.NSec())
 	u.sess.Read(tx, d.PKCompany, key1(symb), symb)
 	u.sess.Read(tx, d.PKSecurity, key1(symb), symb)
 	u.sess.ReadRange(tx, d.PKDailyMarket, btree.Key{symb}, symb*25, 25)
-	u.sess.Commit(tx)
+	return u.sess.Commit(tx)
 }
 
 // tradeLookup reads a batch of historical trades uniformly over the whole
 // history — the cold-read path that drives PAGEIOLATCH at large scale
 // factors.
-func (u *user) tradeLookup() {
+func (u *user) tradeLookup() bool {
 	d := u.d
 	tx := u.sess.Begin()
 	n := d.Trade.NominalRows()
@@ -263,12 +263,12 @@ func (u *user) tradeLookup() {
 		a := d.Settlement.ToActual(tid % d.Settlement.NominalRows())
 		u.sess.Read(tx, d.DB.Index("pk_settlement"), btree.Key{d.Settlement.Get(a, 0)}, tid%d.Settlement.NominalRows())
 	}
-	u.sess.Commit(tx)
+	return u.sess.Commit(tx)
 }
 
 // tradeUpdate rewrites historical trades' executor names (cold writes).
 // Row IDs are sorted so multi-row X locks respect the global order.
-func (u *user) tradeUpdate() {
+func (u *user) tradeUpdate() bool {
 	d := u.d
 	tx := u.sess.Begin()
 	n := d.Trade.NominalRows()
@@ -282,13 +282,13 @@ func (u *user) tradeUpdate() {
 		prev = tid
 		u.sess.Update(tx, d.PKTrade, u.tradeKey(tid), tid, nil)
 	}
-	u.sess.Commit(tx)
+	return u.sess.Commit(tx)
 }
 
 // marketFeed applies a market-data tick batch: update last_trade for ~20
 // securities (ascending, respecting the lock order) — the MEE's write
 // path that contends with marketWatch readers.
-func (u *user) marketFeed() {
+func (u *user) marketFeed() bool {
 	d := u.d
 	tx := u.sess.Begin()
 	n := d.NSec()
@@ -313,15 +313,15 @@ func (u *user) marketFeed() {
 			d.LastTrade.Set(rowID, 2, d.LastTrade.Get(rowID, 2)+100)
 		})
 		if !ok {
-			return // victim: already aborted
+			return false // victim: already aborted
 		}
 	}
-	u.sess.Commit(tx)
+	return u.sess.Commit(tx)
 }
 
 // dataMaintenance performs the spec's background row touch-ups: rewrite a
 // company and daily-market row (cold, low frequency).
-func (u *user) dataMaintenance() {
+func (u *user) dataMaintenance() bool {
 	d := u.d
 	tx := u.sess.Begin()
 	co := u.g.Int64n(d.Company.ActualRows())
@@ -330,11 +330,11 @@ func (u *user) dataMaintenance() {
 	u.sess.Update(tx, d.PKDailyMarket,
 		btree.Key{d.DailyMarket.Get(d.DailyMarket.ToActual(dm), 0), d.DailyMarket.Get(d.DailyMarket.ToActual(dm), 1)},
 		dm, nil)
-	u.sess.Commit(tx)
+	return u.sess.Commit(tx)
 }
 
 // brokerVolume aggregates recent trade volume for a set of brokers.
-func (u *user) brokerVolume() {
+func (u *user) brokerVolume() bool {
 	d := u.d
 	tx := u.sess.Begin()
 	nb := d.NBroker()
@@ -347,5 +347,5 @@ func (u *user) brokerVolume() {
 	symb := u.g.Int64n(d.NSec())
 	nid := d.Trade.NominalRows() * symb / d.NSec()
 	u.sess.ReadRange(tx, d.IXTradeSec, btree.Key{symb}, nid, 200)
-	u.sess.Commit(tx)
+	return u.sess.Commit(tx)
 }

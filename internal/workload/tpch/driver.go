@@ -24,6 +24,7 @@ func (s StreamStats) QPS() float64 {
 // simulation reaches `until`. Call after srv.Start; the caller advances
 // the simulation clock.
 func RunStreams(srv *engine.Server, d *Dataset, streams int, until sim.Time, done *StreamStats) {
+	pol := srv.Cfg.Retry
 	for i := 0; i < streams; i++ {
 		srv.Sim.Spawn("tpch-stream", func(p *sim.Proc) {
 			g := srv.Sim.RNG().Fork()
@@ -33,8 +34,20 @@ func RunStreams(srv *engine.Server, d *Dataset, streams int, until sim.Time, don
 						return
 					}
 					q := d.Query(qi+1, g)
-					srv.RunQuery(p, q, 0, 0)
-					done.QueriesDone++
+					res := srv.RunQuery(p, q, 0, 0)
+					if res.Err != nil && pol.Enabled() {
+						// Bounded retry with backoff for deadline/IO
+						// failures; shutdown cancellation is terminal.
+						for attempt := 1; attempt < pol.MaxAttempts &&
+							res.Err != nil && res.Err.Retryable() && !srv.Stopped(); attempt++ {
+							srv.Ctr.QueryRetries++
+							pol.Sleep(p, g, attempt)
+							res = srv.RunQuery(p, q, 0, 0)
+						}
+					}
+					if res.Err == nil {
+						done.QueriesDone++
+					}
 					done.Elapsed = sim.Duration(p.Now())
 				}
 			}
