@@ -6,9 +6,14 @@
 //	dbsense [flags] <experiment>
 //
 // Experiments: table2, fig2cores, fig2llc, table3, table4, fig3, fig4,
-// fig5, fig5write, fig6, fig7, fig8, all. With -faults, the resilience
-// experiment sweeps a fault-intensity axis and reports throughput
-// retention (see EXPERIMENTS.md, "Resilience experiments").
+// fig5, fig5write, fig6, fig7, fig8, trace, qstats, all. With -faults,
+// the resilience experiment sweeps a fault-intensity axis and reports
+// throughput retention (see EXPERIMENTS.md, "Resilience experiments").
+//
+// With -emit json|csv, every result is also written as structured
+// records (JSONL or fixed-column CSV) to the -o path, byte-identical
+// across runs at the same seed and flags (see EXPERIMENTS.md,
+// "Structured output").
 package main
 
 import (
@@ -35,7 +40,14 @@ var (
 	parallel = flag.Int("parallel", runtime.NumCPU(), "worker threads for experiment sweeps (results are identical at any setting)")
 	progress = flag.Bool("progress", true, "report per-point sweep progress on stderr")
 	faults   = flag.Bool("faults", false, "enable the resilience experiment (deterministic fault injection)")
+	emitFmt  = flag.String("emit", "", "also write structured records: json (JSONL) or csv")
+	emitOut  = flag.String("o", "", "structured-output path (default dbsense-out.jsonl or .csv)")
+	traceQ   = flag.Int("trace", 14, "TPC-H query number for the trace experiment")
 )
+
+// em is the structured-record emitter (nil when -emit is unset; all
+// harness.Emit* helpers no-op on nil).
+var em *harness.Emitter
 
 func opts() harness.Options {
 	o := harness.DefaultOptions()
@@ -79,7 +91,7 @@ func sfsFor(w harness.Workload) []int {
 func main() {
 	flag.Parse()
 	if flag.NArg() != 1 {
-		fmt.Fprintln(os.Stderr, "usage: dbsense [flags] <table2|fig2cores|fig2llc|table3|table4|fig3|fig4|fig5|fig5write|fig6|fig7|fig8|resilience|all>")
+		fmt.Fprintln(os.Stderr, "usage: dbsense [flags] <table2|fig2cores|fig2llc|table3|table4|fig3|fig4|fig5|fig5write|fig6|fig7|fig8|trace|qstats|resilience|all>")
 		os.Exit(2)
 	}
 	exp := flag.Arg(0)
@@ -87,10 +99,41 @@ func main() {
 		fmt.Fprintln(os.Stderr, "the resilience experiment requires -faults")
 		os.Exit(2)
 	}
+	if *emitFmt != "" {
+		path := *emitOut
+		if path == "" {
+			ext := "jsonl"
+			if *emitFmt == "csv" {
+				ext = "csv"
+			}
+			path = "dbsense-out." + ext
+		}
+		f, err := os.Create(path)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		em, err = harness.NewEmitter(f, *emitFmt)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(2)
+		}
+		defer func() {
+			if err := em.Close(); err != nil {
+				fmt.Fprintln(os.Stderr, err)
+				os.Exit(1)
+			}
+			if err := f.Close(); err != nil {
+				fmt.Fprintln(os.Stderr, err)
+				os.Exit(1)
+			}
+			fmt.Fprintf(os.Stderr, "structured records written to %s\n", path)
+		}()
+	}
 	if exp == "all" {
 		// table4 derives from fig2llc's sweep, which run("fig2llc")
 		// prints alongside the curves, so it is not repeated here.
-		for _, e := range []string{"table2", "fig2cores", "fig2llc", "table3", "fig3", "fig4", "fig5", "fig5write", "fig6", "fig7", "fig8"} {
+		for _, e := range []string{"table2", "fig2cores", "fig2llc", "table3", "fig3", "fig4", "fig5", "fig5write", "fig6", "fig7", "fig8", "trace", "qstats"} {
 			run(e)
 		}
 		return
@@ -105,10 +148,12 @@ func run(exp string) {
 	case "table2":
 		tb := harness.Table2(o)
 		fmt.Print(tb.Render())
+		harness.EmitTable(em, "table2", "table2", tb)
 	case "fig2cores":
 		for _, w := range workloads() {
 			res := harness.Fig2Cores(w, sfsFor(w), coreSteps(), o)
 			printCurves(fmt.Sprintf("Fig2 cores: %s (throughput vs logical cores)", w), res.PerfBySF, "cores")
+			harness.EmitFamily(em, "fig2cores", string(w), "throughput", "cores", "per_sec", harness.CurveFamily(res.PerfBySF))
 		}
 	case "fig2llc":
 		var all []harness.Fig2LLCResult
@@ -117,9 +162,12 @@ func run(exp string) {
 			all = append(all, res)
 			printCurves(fmt.Sprintf("Fig2 LLC: %s (throughput vs MB)", w), res.PerfBySF, "MB")
 			printCurves(fmt.Sprintf("Fig2 MPKI: %s (MPKI vs MB)", w), res.MPKIBySF, "MB")
+			harness.EmitFamily(em, "fig2llc", string(w), "throughput", "llc_mb", "per_sec", harness.CurveFamily(res.PerfBySF))
+			harness.EmitFamily(em, "fig2llc", string(w), "mpki", "llc_mb", "mpki", harness.CurveFamily(res.MPKIBySF))
 		}
 		t4 := harness.Table4(all)
 		fmt.Printf("-- Table 4 (derived from the same sweep) --\n%s", t4.Render())
+		harness.EmitTable(em, "fig2llc", "table4", t4)
 	case "table4":
 		var all []harness.Fig2LLCResult
 		for _, w := range workloads() {
@@ -127,6 +175,7 @@ func run(exp string) {
 		}
 		tb := harness.Table4(all)
 		fmt.Print(tb.Render())
+		harness.EmitTable(em, "table4", "table4", tb)
 	case "table3":
 		small, large := 5000, 15000
 		if *quick {
@@ -139,6 +188,7 @@ func run(exp string) {
 		}
 		t.AddRow(res.SumLockLatchPage.Label, core.F(res.SumLockLatchPage.Value()))
 		fmt.Print(t.Render())
+		harness.EmitTable(em, "table3", "table3", t)
 	case "fig3":
 		for _, pair := range []struct {
 			w  harness.Workload
@@ -153,6 +203,7 @@ func run(exp string) {
 				t.AddRow("LLC-MB", core.F(p.Knob), core.F(p.Throughput), core.F(p.SSDReadMBps), core.F(p.SSDWriteMBps), core.F(p.DRAMMBps))
 			}
 			fmt.Printf("-- %s SF %d --\n%s", pair.w, pair.sf, t.Render())
+			harness.EmitTable(em, "fig3", fmt.Sprintf("%s-sf%d", pair.w, pair.sf), t)
 		}
 	case "fig4":
 		t := core.Table{Headers: []string{"workload", "SF", "metric", "p10", "p50", "p90", "p99", "mean"}}
@@ -172,6 +223,9 @@ func run(exp string) {
 					core.F(row.d.Percentile(10)), core.F(row.d.Percentile(50)),
 					core.F(row.d.Percentile(90)), core.F(row.d.Percentile(99)), core.F(row.d.Mean()))
 			}
+			harness.EmitDistribution(em, "fig4", string(w), sf, "ssd_read_mbps", "MB/s", res.SSDRead)
+			harness.EmitDistribution(em, "fig4", string(w), sf, "ssd_write_mbps", "MB/s", res.SSDWrite)
+			harness.EmitDistribution(em, "fig4", string(w), sf, "dram_mbps", "MB/s", res.DRAM)
 		}
 		fmt.Print(t.Render())
 	case "fig5":
@@ -186,6 +240,8 @@ func run(exp string) {
 			t.AddRow(core.F(p.X), core.F(p.Y), core.F(lin.Points[i].Y))
 		}
 		fmt.Print(t.Render())
+		harness.EmitCurve(em, "fig5", "tpch", 300, "qps", "read_limit_mbps", "qps", c)
+		harness.EmitCurve(em, "fig5", "tpch", 300, "qps_linear_model", "read_limit_mbps", "qps", lin)
 		target := c.Last().Y * 0.8
 		actual, linear, ok := c.AllocationForTarget(target)
 		if ok {
@@ -200,6 +256,7 @@ func run(exp string) {
 			t.AddRow(core.F(p.X), core.F(p.Y), fmt.Sprintf("%+.0f%%", 100*(p.Y/base-1)))
 		}
 		fmt.Print(t.Render())
+		harness.EmitCurve(em, "fig5write", "asdb", 2000, "tps", "write_limit_mbps", "tps", c)
 	case "fig6":
 		sfs := []int{10, 30, 100, 300}
 		for _, sf := range sfs {
@@ -213,11 +270,16 @@ func run(exp string) {
 				t.AddRow(row...)
 			}
 			fmt.Printf("-- TPC-H SF %d: speedup relative to MAXDOP=32 --\n%s", sf, t.Render())
+			harness.EmitTable(em, "fig6", fmt.Sprintf("sf%d", sf), t)
 		}
 	case "fig7":
 		for _, sf := range []int{10, 300} {
 			res := harness.Fig7(sf, o)
 			fmt.Printf("-- Q20 @ SF %d --\nMAXDOP=1:\n%s\nMAXDOP=32:\n%s\n", sf, res.SerialPlan, res.ParallelPlan)
+			harness.EmitTable(em, "fig7", fmt.Sprintf("q20-sf%d", sf), core.Table{
+				Headers: []string{"maxdop", "shape"},
+				Rows:    [][]string{{"1", res.SerialShape}, {"32", res.ParShape}},
+			})
 		}
 	case "resilience":
 		steps := harness.FaultSteps
@@ -227,6 +289,24 @@ func run(exp string) {
 		for _, pair := range resiliencePoints() {
 			res := harness.Resilience(pair.w, pair.sf, o, steps)
 			fmt.Print(res.String())
+			for _, p := range res.Points {
+				em.Emit(harness.Record{
+					Record: "point", Experiment: "resilience", Workload: string(pair.w), SF: pair.sf,
+					Knob: "fault_intensity", X: p.Intensity,
+					Fields: map[string]float64{
+						"throughput":      p.Throughput,
+						"retention":       p.Retention,
+						"faults_injected": float64(p.FaultsInjected),
+						"fault_io_errors": float64(p.FaultIOErrors),
+						"io_retries":      float64(p.IORetries),
+						"txn_retries":     float64(p.TxnRetries),
+						"query_retries":   float64(p.QueryRetries),
+						"deadline_kills":  float64(p.DeadlineKills),
+						"degraded_plans":  float64(p.DegradedPlans),
+						"failed":          float64(p.DegradedFailed),
+					},
+				})
+			}
 		}
 	case "fig8":
 		res := harness.Fig8(o, nil)
@@ -236,6 +316,28 @@ func run(exp string) {
 				core.F(res.Speedup(q, 0.15)), core.F(res.Speedup(q, 0.05)), core.F(res.Speedup(q, 0.02)))
 		}
 		fmt.Printf("-- TPC-H SF 100: speedup vs default 25%% grant --\n%s", t.Render())
+		harness.EmitTable(em, "fig8", "sf100", t)
+	case "trace":
+		sf := 100
+		if *quick {
+			sf = 10
+		}
+		res := harness.TraceTPCH(sf, *traceQ, o)
+		fmt.Print(res.Render())
+		harness.EmitTrace(em, "trace", "tpch", sf, res.Trace)
+		if res.Stmt != nil {
+			harness.EmitWaits(em, "trace", "tpch", sf, "query", float64(*traceQ), res.Stmt.WaitNs)
+		}
+	case "qstats":
+		ws := workloads()
+		results := harness.Sweep(o.Parallel, len(ws), func(i int) harness.QStatsResult {
+			return harness.RunQStats(ws[i], harness.PaperSFs(ws[i])[0], o)
+		}, o.Progress)
+		for _, res := range results {
+			t := harness.QueryStatsTable(res.Result.QueryStats)
+			fmt.Printf("-- query stats: %s SF %d --\n%s", res.Workload, res.SF, t.Render())
+			harness.EmitResult(em, "qstats", string(res.Workload), res.SF, "", 0, res.Result)
+		}
 	default:
 		fmt.Fprintf(os.Stderr, "unknown experiment %q\n", exp)
 		os.Exit(2)

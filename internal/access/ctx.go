@@ -178,5 +178,5 @@ func (c *Ctx) TouchMeta(rows float64) {
 
 // WaitIO records an explicit I/O wait (tempdb spills, etc.).
 func (c *Ctx) WaitIO(d sim.Duration) {
-	c.Ctr.AddWait(metrics.WaitIO, d)
+	metrics.ChargeWait(c.P, c.Ctr, metrics.WaitIO, d)
 }

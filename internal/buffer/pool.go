@@ -187,9 +187,9 @@ func (p *Pool) acquireLatch(proc *sim.Proc, l *latch) {
 		l.q.Wait(proc)
 		wait := sim.Duration(proc.Now() - start)
 		if wasIO {
-			p.ctr.AddWait(metrics.WaitPageIOLatch, wait)
+			metrics.ChargeWait(proc, p.ctr, metrics.WaitPageIOLatch, wait)
 		} else {
-			p.ctr.AddWait(metrics.WaitPageLatch, wait)
+			metrics.ChargeWait(proc, p.ctr, metrics.WaitPageLatch, wait)
 		}
 	}
 	l.held = true
@@ -217,10 +217,17 @@ func (p *Pool) Probe(proc *sim.Proc, f *storage.File, pageNo int64, write bool, 
 	p.acquireLatch(proc, l)
 
 	hit := fs.bit(fs.resident, pageNo)
+	stmt := metrics.StmtOf(proc)
 	if hit {
 		p.ctr.BufferHits++
+		if stmt != nil {
+			stmt.BufferHits++
+		}
 	} else {
 		p.ctr.BufferMisses++
+		if stmt != nil {
+			stmt.BufferMisses++
+		}
 		l.inIO = true
 		ok := p.readPages(proc, storage.PageBytes)
 		l.inIO = false
@@ -259,7 +266,14 @@ func (p *Pool) Scan(proc *sim.Proc, f *storage.File, startPage, nPages, readahea
 	}
 	fs := p.state(f)
 	fs.grow(startPage + nPages)
-	var missTotal int64
+	var missTotal, hitTotal int64
+	stmt := metrics.StmtOf(proc)
+	defer func() {
+		if stmt != nil {
+			stmt.BufferHits += hitTotal
+			stmt.BufferMisses += missTotal
+		}
+	}()
 	page := startPage
 	end := startPage + nPages
 	for page < end {
@@ -267,6 +281,7 @@ func (p *Pool) Scan(proc *sim.Proc, f *storage.File, startPage, nPages, readahea
 		for page < end && fs.bit(fs.resident, page) {
 			fs.set(fs.referenced, page, true)
 			p.ctr.BufferHits++
+			hitTotal++
 			page++
 			// Word-level fast path: whole 64-page blocks that are fully
 			// resident are marked referenced and skipped in one step.
@@ -277,6 +292,7 @@ func (p *Pool) Scan(proc *sim.Proc, f *storage.File, startPage, nPages, readahea
 				}
 				fs.referenced[w] = ^uint64(0)
 				p.ctr.BufferHits += 64
+				hitTotal += 64
 				page += 64
 			}
 		}

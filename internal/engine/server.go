@@ -11,6 +11,7 @@ import (
 	"repro/internal/metrics"
 	"repro/internal/opt"
 	"repro/internal/sim"
+	"repro/internal/trace"
 	"repro/internal/txn"
 	"repro/internal/wal"
 )
@@ -45,6 +46,10 @@ type Config struct {
 	// retries; drivers consult it via Cfg.Retry.
 	Retry RetryPolicy
 
+	// Trace enables per-operator span tracing on analytical queries.
+	// Off (the default) costs nothing; QueryResult.Trace is then nil.
+	Trace bool
+
 	Cost *access.CostModel
 }
 
@@ -78,6 +83,11 @@ type Server struct {
 	Txns  *txn.Manager
 	Ctr   *metrics.Counters
 	Smp   *metrics.Sampler
+
+	// QStats is the cumulative per-query-template statistics store
+	// (dm_exec_query_stats). Always on: recording is a few counter adds
+	// per statement and changes no simulated behavior.
+	QStats *metrics.QueryStats
 
 	DB *Database
 
@@ -115,6 +125,7 @@ func NewServer(cfg Config) *Server {
 		Locks:      lock.NewManager(sm, ctr),
 		Ctr:        ctr,
 		Smp:        metrics.NewSampler(ctr),
+		QStats:     metrics.NewQueryStats(),
 		logLatch:   lock.NewNamedLatch("LOG_BUFFER", ctr),
 		allocLatch: make(map[int]*lock.NamedLatch),
 		workspace:  sqlMem - bufBytes,
@@ -313,7 +324,7 @@ func (s *Server) acquireWorkspace(p *sim.Proc, bytes int64) int64 {
 	for s.workspaceUse+bytes > s.workspace-s.faultReserve && !s.stopped {
 		s.grantQ.Wait(p)
 	}
-	s.Ctr.AddWait(metrics.WaitResourceSem, sim.Duration(p.Now()-start))
+	metrics.ChargeWait(p, s.Ctr, metrics.WaitResourceSem, sim.Duration(p.Now()-start))
 	if s.workspaceUse+bytes > s.workspace-s.faultReserve {
 		return 0 // woken by Stop, not by capacity
 	}
@@ -337,7 +348,7 @@ func (s *Server) acquireWorkspaceUntil(p *sim.Proc, bytes int64, limit sim.Time)
 		}
 		s.grantQ.WaitTimeout(p, rem)
 	}
-	s.Ctr.AddWait(metrics.WaitResourceSem, sim.Duration(p.Now()-start))
+	metrics.ChargeWait(p, s.Ctr, metrics.WaitResourceSem, sim.Duration(p.Now()-start))
 	if timedOut {
 		return 0, true
 	}
@@ -364,6 +375,12 @@ type QueryResult struct {
 	Info    opt.PlanInfo
 	Elapsed sim.Duration
 	Err     *QueryError
+
+	// Stmt holds the counters attributed to this statement (waits, buffer
+	// traffic, I/O, spills); Trace the per-operator span tree when
+	// Cfg.Trace is on.
+	Stmt  *metrics.Counters
+	Trace *trace.Trace
 }
 
 // RunQuery optimizes and executes a logical query on the session proc.
@@ -376,7 +393,7 @@ type QueryResult struct {
 // re-planned at half the DOP and a quarter of the grant (degrading
 // gracefully under sustained pressure instead of queueing forever); one
 // that cannot start or finish by the deadline fails with ErrDeadline.
-func (s *Server) RunQuery(p *sim.Proc, q *opt.LNode, maxdopHint int, grantPct float64) QueryResult {
+func (s *Server) RunQuery(p *sim.Proc, q *opt.LNode, maxdopHint int, grantPct float64) (res QueryResult) {
 	start := p.Now()
 	var deadline sim.Time
 	if s.Cfg.StmtTimeout > 0 {
@@ -388,6 +405,31 @@ func (s *Server) RunQuery(p *sim.Proc, q *opt.LNode, maxdopHint int, grantPct fl
 		pl.GrantFrac = grantPct
 	}
 	plan, info := pl.Plan(q)
+
+	// Attribute everything from here on — grant waits, worker I/O, spills —
+	// to this statement. The session's previous attachment (e.g. a TP
+	// transaction's) is restored on return.
+	stmt := &metrics.Counters{}
+	prevAttr := p.Attr()
+	p.SetAttr(stmt)
+	defer p.SetAttr(prevAttr)
+
+	label := q.Label
+	if label == "" {
+		label = info.Shape
+	}
+	degraded := false
+	defer func() {
+		res.Stmt = stmt
+		s.QStats.Record(label, metrics.Exec{
+			Elapsed:  res.Elapsed,
+			Rows:     int64(len(res.Rows)),
+			Failed:   res.Err != nil,
+			Killed:   res.Err != nil && res.Err.Kind == ErrDeadline,
+			Degraded: degraded,
+			Stmt:     stmt,
+		})
+	}()
 
 	fail := func(kind ErrKind, op string) QueryResult {
 		return QueryResult{
@@ -413,6 +455,8 @@ func (s *Server) RunQuery(p *sim.Proc, q *opt.LNode, maxdopHint int, grantPct fl
 				// Degrade: re-plan at half the DOP and a quarter of the
 				// grant, then wait out the rest of the deadline.
 				s.Ctr.DegradedPlans++
+				stmt.DegradedPlans++
+				degraded = true
 				if dop = info.Dop / 2; dop < 1 {
 					dop = 1
 				}
@@ -451,8 +495,11 @@ func (s *Server) RunQuery(p *sim.Proc, q *opt.LNode, maxdopHint int, grantPct fl
 		Home:       s.PickCore(),
 		Deadline:   deadline,
 	}
+	if s.Cfg.Trace {
+		env.Trace = trace.New(label, stmt)
+	}
 	rows, st := exec.Run(p, env, plan)
-	res := QueryResult{Rows: rows, Stats: st, Info: info, Elapsed: sim.Duration(p.Now() - start)}
+	res = QueryResult{Rows: rows, Stats: st, Info: info, Elapsed: sim.Duration(p.Now() - start), Trace: env.Trace}
 	if err := p.TakeFail(); err != nil {
 		s.Ctr.QueriesFailed++
 		res.Err = &QueryError{Kind: ErrIO, Op: "exec", At: p.Now()}

@@ -20,6 +20,7 @@ import (
 	"repro/internal/iodev"
 	"repro/internal/metrics"
 	"repro/internal/sim"
+	"repro/internal/trace"
 )
 
 // Row is one tuple.
@@ -59,6 +60,10 @@ type Env struct {
 	// at node boundaries and between partitions; once it passes, the
 	// query stops doing work and reports QueryStats.Killed.
 	Deadline sim.Time
+
+	// Trace, when non-nil, records a span per plan node. The executor
+	// checks it once per node, so untraced queries pay nothing.
+	Trace *trace.Trace
 
 	killed bool  // deadline expired mid-execution
 	ioErr  error // first unrecoverable device error from any worker
@@ -155,10 +160,12 @@ func (e *Env) parallel(p *sim.Proc, nParts int, f func(ctx *access.Ctx, part int
 	}
 	remaining := dop
 	var done sim.WaitQueue
+	attr := p.Attr() // workers charge the coordinator's statement
 	for w := 0; w < dop; w++ {
 		w := w
 		core := e.Cores[w%len(e.Cores)]
 		e.Sim.Spawn("qworker", func(wp *sim.Proc) {
+			wp.SetAttr(attr)
 			ctx := e.newCtx(wp, core)
 			// Thread startup / exchange setup cost.
 			ctx.Stall(e.Cost.WorkerStartNs)

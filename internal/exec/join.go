@@ -2,6 +2,7 @@ package exec
 
 import (
 	"repro/internal/access"
+	"repro/internal/metrics"
 	"repro/internal/sim"
 )
 
@@ -168,6 +169,9 @@ func spill(p *sim.Proc, env *Env, n *Node, st *QueryStats, buildBytes, probeByte
 	st.Spills++
 	st.SpillBytes += total
 	env.Ctr.Spills++
+	if s := metrics.StmtOf(p); s != nil {
+		s.Spills++
+	}
 	ctx := env.newCtx(p, env.home())
 	ctx.Flush()
 	d := env.Dev.Write(p, total)

@@ -40,10 +40,23 @@ func grantBytes(g *Grant) int64 {
 	return g.Bytes
 }
 
+// runNode dispatches one plan node, opening a trace span around it when
+// the query is being traced. Only the coordinator proc walks the plan
+// tree, so span nesting follows call nesting exactly.
 func runNode(p *sim.Proc, env *Env, n *Node, st *QueryStats) []Row {
 	if env.expired(p.Now()) {
 		return nil
 	}
+	if env.Trace == nil {
+		return execNode(p, env, n, st)
+	}
+	sp := env.Trace.Enter(n.Kind.String(), n.Name, n.Parallel, n.EstRows, p.Now())
+	rows := execNode(p, env, n, st)
+	env.Trace.Exit(sp, int64(len(rows)), int64(len(rows))*n.Weight, p.Now())
+	return rows
+}
+
+func execNode(p *sim.Proc, env *Env, n *Node, st *QueryStats) []Row {
 	switch n.Kind {
 	case KRowScan:
 		return runRowScan(p, env, n)

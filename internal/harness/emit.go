@@ -1,0 +1,322 @@
+package harness
+
+import (
+	"encoding/csv"
+	"encoding/json"
+	"fmt"
+	"io"
+	"sort"
+	"strconv"
+	"strings"
+
+	"repro/internal/core"
+	"repro/internal/metrics"
+	"repro/internal/trace"
+)
+
+// Record is one exported observation. Every figure, table, time series,
+// wait breakdown, query-stat row, and trace span flattens into this one
+// schema, so downstream tooling parses a single shape regardless of the
+// experiment. Unused fields are omitted (JSON) or empty (CSV). The field
+// set is stable: additions append, nothing is renamed.
+type Record struct {
+	Record     string             `json:"record"`               // row type: point, curve_point, table_row, cdf_point, series_point, wait, query_stat, span
+	Experiment string             `json:"experiment"`           // experiment id (fig2cores, table3, qstats, ...)
+	Workload   string             `json:"workload,omitempty"`   // tpch | tpce | asdb | htap
+	SF         int                `json:"sf,omitempty"`         // scale factor
+	Metric     string             `json:"metric,omitempty"`     // what Value measures (throughput, mpki, wait class, ...)
+	Name       string             `json:"name,omitempty"`       // object label (curve name, query template, operator)
+	Knob       string             `json:"knob,omitempty"`       // swept knob (cores, llc_mb, read_limit_mbps, ...)
+	X          float64            `json:"x,omitempty"`          // knob setting / CDF value / series index
+	Value      float64            `json:"value,omitempty"`      // measured value
+	Unit       string             `json:"unit,omitempty"`       // Value's unit (qps, tps, MB/s, ms, ns, frac)
+	Text       string             `json:"text,omitempty"`       // free-form cell payload (table rows)
+	Fields     map[string]float64 `json:"fields,omitempty"`     // named sub-values (query-stat and span details)
+}
+
+// csvHeader is the fixed CSV column order; Fields flattens into the last
+// column as "k=v;k=v" sorted by key.
+var csvHeader = []string{
+	"record", "experiment", "workload", "sf", "metric", "name",
+	"knob", "x", "value", "unit", "text", "fields",
+}
+
+// Emitter writes Records as JSON Lines or CSV. Output is deterministic:
+// JSON uses struct field order and sorted map keys, CSV a fixed column
+// set, and no record carries wall-clock state — the same experiment at
+// the same seed emits byte-identical output.
+type Emitter struct {
+	format string // "json" or "csv"
+	w      io.Writer
+	cw     *csv.Writer
+	err    error
+}
+
+// NewEmitter creates an emitter for format "json" (JSONL) or "csv"
+// (fixed-column, header row first).
+func NewEmitter(w io.Writer, format string) (*Emitter, error) {
+	e := &Emitter{format: format, w: w}
+	switch format {
+	case "json":
+	case "csv":
+		e.cw = csv.NewWriter(w)
+		e.err = e.cw.Write(csvHeader)
+	default:
+		return nil, fmt.Errorf("harness: unknown emit format %q (want json or csv)", format)
+	}
+	return e, nil
+}
+
+// Emit writes one record. A nil emitter discards, so call sites need no
+// guards. The first write error sticks and is returned by Close.
+func (e *Emitter) Emit(r Record) {
+	if e == nil || e.err != nil {
+		return
+	}
+	switch e.format {
+	case "json":
+		b, err := json.Marshal(r)
+		if err != nil {
+			e.err = err
+			return
+		}
+		b = append(b, '\n')
+		_, e.err = e.w.Write(b)
+	case "csv":
+		e.err = e.cw.Write([]string{
+			r.Record, r.Experiment, r.Workload, itoa(r.SF), r.Metric, r.Name,
+			r.Knob, ftoa(r.X), ftoa(r.Value), r.Unit, r.Text, flattenFields(r.Fields),
+		})
+	}
+}
+
+// Close flushes buffered output and returns the first error seen.
+func (e *Emitter) Close() error {
+	if e == nil {
+		return nil
+	}
+	if e.cw != nil {
+		e.cw.Flush()
+		if e.err == nil {
+			e.err = e.cw.Error()
+		}
+	}
+	return e.err
+}
+
+func itoa(v int) string {
+	if v == 0 {
+		return ""
+	}
+	return strconv.Itoa(v)
+}
+
+// ftoa formats floats with 'g' at full precision so values round-trip
+// and identical runs produce identical bytes.
+func ftoa(v float64) string {
+	if v == 0 {
+		return ""
+	}
+	return strconv.FormatFloat(v, 'g', -1, 64)
+}
+
+func flattenFields(m map[string]float64) string {
+	if len(m) == 0 {
+		return ""
+	}
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	parts := make([]string, len(keys))
+	for i, k := range keys {
+		parts[i] = k + "=" + strconv.FormatFloat(m[k], 'g', -1, 64)
+	}
+	return strings.Join(parts, ";")
+}
+
+// EmitCurve exports a response curve as curve_point records.
+func EmitCurve(e *Emitter, experiment, workload string, sf int, metric, knob, unit string, c core.Curve) {
+	for _, p := range c.Points {
+		e.Emit(Record{
+			Record: "curve_point", Experiment: experiment, Workload: workload, SF: sf,
+			Metric: metric, Name: c.Name, Knob: knob, X: p.X, Value: p.Y, Unit: unit,
+		})
+	}
+}
+
+// EmitFamily exports a curve family (one curve per scale factor).
+func EmitFamily(e *Emitter, experiment, workload, metric, knob, unit string, fam CurveFamily) {
+	for _, sf := range sortedSFs(fam) {
+		EmitCurve(e, experiment, workload, sf, metric, knob, unit, fam[sf])
+	}
+}
+
+// EmitTable exports a rendered table one table_row record per row, with
+// cells packed into Text as "header=cell; ...".
+func EmitTable(e *Emitter, experiment, name string, t core.Table) {
+	if e == nil {
+		return
+	}
+	for _, row := range t.Rows {
+		parts := make([]string, 0, len(row))
+		for i, cell := range row {
+			h := ""
+			if i < len(t.Headers) {
+				h = t.Headers[i]
+			}
+			parts = append(parts, h+"="+cell)
+		}
+		e.Emit(Record{
+			Record: "table_row", Experiment: experiment, Name: name,
+			Text: strings.Join(parts, "; "),
+		})
+	}
+}
+
+// EmitDistribution exports a sample distribution: its CDF points plus a
+// percentile summary record.
+func EmitDistribution(e *Emitter, experiment, workload string, sf int, metric, unit string, d metrics.Distribution) {
+	if e == nil {
+		return
+	}
+	for _, pt := range d.CDF() {
+		e.Emit(Record{
+			Record: "cdf_point", Experiment: experiment, Workload: workload, SF: sf,
+			Metric: metric, X: pt[0], Value: pt[1], Unit: unit,
+		})
+	}
+	e.Emit(Record{
+		Record: "point", Experiment: experiment, Workload: workload, SF: sf,
+		Metric: metric + "_summary", Unit: unit,
+		Fields: map[string]float64{
+			"p10": d.Percentile(10), "p50": d.Percentile(50),
+			"p90": d.Percentile(90), "p99": d.Percentile(99),
+			"mean": d.Mean(), "n": float64(len(d.Sorted)),
+		},
+	})
+}
+
+// EmitResult exports one experiment point in full: the summary metrics,
+// the per-interval bandwidth series, the wait-class breakdown, and the
+// server's query-stats snapshot.
+func EmitResult(e *Emitter, experiment, workload string, sf int, knob string, x float64, r Result) {
+	if e == nil {
+		return
+	}
+	e.Emit(Record{
+		Record: "point", Experiment: experiment, Workload: workload, SF: sf,
+		Knob: knob, X: x,
+		Fields: map[string]float64{
+			"throughput":     r.Throughput,
+			"oltp_tps":       r.OLTPTps,
+			"dss_qps":        r.DSSQps,
+			"mpki":           r.MPKI,
+			"ipc":            r.IPC,
+			"ssd_read_mbps":  r.SSDReadMBps,
+			"ssd_write_mbps": r.SSDWriteMBps,
+			"dram_mbps":      r.DRAMMBps,
+			"elapsed_secs":   r.ElapsedSecs,
+		},
+	})
+	for _, s := range []struct {
+		metric string
+		vals   []float64
+	}{
+		{"ssd_read_mbps", r.ReadBWSeries},
+		{"ssd_write_mbps", r.WriteBWSeries},
+		{"dram_mbps", r.DRAMBWSeries},
+	} {
+		for i, v := range s.vals {
+			e.Emit(Record{
+				Record: "series_point", Experiment: experiment, Workload: workload, SF: sf,
+				Metric: s.metric, Knob: knob, X: float64(i), Value: v, Unit: "MB/s",
+			})
+		}
+	}
+	EmitWaits(e, experiment, workload, sf, knob, x, r.WaitNs)
+	EmitQueryStats(e, experiment, workload, sf, r.QueryStats)
+}
+
+// EmitWaits exports a wait-class breakdown, one wait record per class
+// (zero classes included, so the schema is stable).
+func EmitWaits(e *Emitter, experiment, workload string, sf int, knob string, x float64, waits [metrics.NumWaitClasses]int64) {
+	if e == nil {
+		return
+	}
+	for c := metrics.WaitClass(0); c < metrics.NumWaitClasses; c++ {
+		e.Emit(Record{
+			Record: "wait", Experiment: experiment, Workload: workload, SF: sf,
+			Metric: c.String(), Knob: knob, X: x, Value: float64(waits[c]), Unit: "ns",
+		})
+	}
+}
+
+// EmitQueryStats exports a query-stats snapshot, one query_stat record
+// per template with the cumulative counters and latency percentiles.
+func EmitQueryStats(e *Emitter, experiment, workload string, sf int, rows []metrics.QueryStatRow) {
+	if e == nil {
+		return
+	}
+	for _, r := range rows {
+		f := map[string]float64{
+			"executions": float64(r.Executions),
+			"errors":     float64(r.Errors),
+			"kills":      float64(r.Kills),
+			"retries":    float64(r.Retries),
+			"degraded":   float64(r.Degraded),
+			"rows":       float64(r.Rows),
+			"spills":     float64(r.Spills),
+			"total_ms":   float64(r.TotalNs) / 1e6,
+			"max_ms":     float64(r.MaxNs) / 1e6,
+			"mean_ms":    r.Hist.Mean() / 1e6,
+			"p50_ms":     r.Hist.Quantile(0.50) / 1e6,
+			"p95_ms":     r.Hist.Quantile(0.95) / 1e6,
+			"p99_ms":     r.Hist.Quantile(0.99) / 1e6,
+		}
+		for c := metrics.WaitClass(0); c < metrics.NumWaitClasses; c++ {
+			f["wait_"+strings.ToLower(c.String())+"_ms"] = float64(r.WaitNs[c]) / 1e6
+		}
+		e.Emit(Record{
+			Record: "query_stat", Experiment: experiment, Workload: workload, SF: sf,
+			Name: r.Query, Fields: f,
+		})
+	}
+}
+
+// EmitTrace exports a query trace, one span record per operator in
+// pre-order with its depth, so the tree reconstructs from the stream.
+func EmitTrace(e *Emitter, experiment, workload string, sf int, tr *trace.Trace) {
+	if e == nil || tr == nil || tr.Root == nil {
+		return
+	}
+	var walk func(s *trace.Span, depth int)
+	walk = func(s *trace.Span, depth int) {
+		par := 0.0
+		if s.Parallel {
+			par = 1
+		}
+		e.Emit(Record{
+			Record: "span", Experiment: experiment, Workload: workload, SF: sf,
+			Metric: s.Op, Name: tr.Query, Text: s.Name,
+			Fields: map[string]float64{
+				"depth":         float64(depth),
+				"parallel":      par,
+				"est_rows":      s.EstRows,
+				"act_rows":      float64(s.ActRows),
+				"nom_rows":      float64(s.NomRows),
+				"elapsed_ms":    s.Elapsed().Seconds() * 1e3,
+				"self_ms":       s.SelfElapsed().Seconds() * 1e3,
+				"buffer_hits":   float64(s.BufferHits),
+				"buffer_misses": float64(s.BufferMisses),
+				"spills":        float64(s.Spills),
+				"wait_ms":       float64(s.TotalWaitNs()) / 1e6,
+			},
+		})
+		for _, c := range s.Children {
+			walk(c, depth+1)
+		}
+	}
+	walk(tr.Root, 0)
+}

@@ -81,18 +81,22 @@ func WriteFamilyCSV(w io.Writer, fam CurveFamily) error {
 	return nil
 }
 
-// WriteCDFCSV writes a distribution's CDF as (value, fraction) CSV.
+// WriteCDFCSV writes a distribution's CDF as (value, fraction) CSV. Metric
+// order is fixed so output is byte-stable run to run.
 func WriteCDFCSV(w io.Writer, name string, res Fig4Result) error {
 	if _, err := fmt.Fprintln(w, "metric,mbps,fraction"); err != nil {
 		return err
 	}
-	for label, d := range map[string]interface{ CDF() [][2]float64 }{
-		"ssd_read":  res.SSDRead,
-		"ssd_write": res.SSDWrite,
-		"dram":      res.DRAM,
+	for _, m := range []struct {
+		label string
+		d     interface{ CDF() [][2]float64 }
+	}{
+		{"dram", res.DRAM},
+		{"ssd_read", res.SSDRead},
+		{"ssd_write", res.SSDWrite},
 	} {
-		for _, pt := range d.CDF() {
-			if _, err := fmt.Fprintf(w, "%s,%g,%g\n", label, pt[0], pt[1]); err != nil {
+		for _, pt := range m.d.CDF() {
+			if _, err := fmt.Fprintf(w, "%s,%g,%g\n", m.label, pt[0], pt[1]); err != nil {
 				return err
 			}
 		}

@@ -31,6 +31,9 @@ type Knobs struct {
 	Faults      *fault.Config      // fault injection (nil or disabled = none)
 	StmtTimeout sim.Duration       // statement deadline (0 = none)
 	Retry       engine.RetryPolicy // driver retry policy (zero = disabled)
+
+	// Trace enables per-operator query tracing (engine.Config.Trace).
+	Trace bool
 }
 
 // Options control scale-down density and measurement windows, so the
@@ -101,6 +104,10 @@ type Result struct {
 	WaitNs [metrics.NumWaitClasses]int64
 
 	Delta metrics.Counters
+
+	// QueryStats is the server's cumulative per-query-template statistics
+	// at the end of the run (sorted by template label).
+	QueryStats []metrics.QueryStatRow
 }
 
 // server builds and configures a server for the knobs.
@@ -113,6 +120,7 @@ func newServer(opt Options, k Knobs) *engine.Server {
 	}
 	cfg.StmtTimeout = k.StmtTimeout
 	cfg.Retry = k.Retry
+	cfg.Trace = k.Trace
 	srv := engine.NewServer(cfg)
 	if k.Cores > 0 {
 		srv.CPUs.AllowN(k.Cores)
@@ -174,11 +182,15 @@ func measure(srv *engine.Server, opt Options) Result {
 	r.SSDWriteMBps = float64(delta.SSDWriteBytes) / 1e6 / secs
 	r.DRAMMBps = float64(delta.DRAMReadBytes+delta.DRAMWriteBytes) / 1e6 / secs
 	r.WaitNs = delta.WaitNs
+	r.QueryStats = srv.QStats.Snapshot()
 	for _, s := range srv.Smp.Samples[samplesBefore:] {
 		if s.At > end {
 			break
 		}
-		iv := srv.Smp.Interval.Seconds()
+		iv := s.Dur.Seconds()
+		if iv <= 0 {
+			iv = srv.Smp.Interval.Seconds()
+		}
 		r.ReadBWSeries = append(r.ReadBWSeries, float64(s.Delta.SSDReadBytes)/1e6/iv)
 		r.WriteBWSeries = append(r.WriteBWSeries, float64(s.Delta.SSDWriteBytes)/1e6/iv)
 		r.DRAMBWSeries = append(r.DRAMBWSeries, float64(s.Delta.DRAMReadBytes+s.Delta.DRAMWriteBytes)/1e6/iv)

@@ -242,7 +242,7 @@ func (m *Machine) Exec(p *sim.Proc, coreID int, instr int64, stallNs float64) {
 	}
 	core := m.cores[coreID]
 	wait := core.slot.Acquire(p)
-	m.Ctr.AddWait(metrics.WaitCPU, wait)
+	metrics.ChargeWait(p, m.Ctr, metrics.WaitCPU, wait)
 
 	siblingBusy := m.physBusy[core.Phys] > 0
 	m.physBusy[core.Phys]++
@@ -265,8 +265,13 @@ func (m *Machine) Exec(p *sim.Proc, coreID int, instr int64, stallNs float64) {
 	instrNs := float64(instr) * cpi / (freq * share)
 	dur := sim.Duration(instrNs + stallNs)
 
+	cycles := int64(float64(instr)*cpi + stallNs*freq)
 	m.Ctr.Instructions += instr
-	m.Ctr.Cycles += int64(float64(instr)*cpi + stallNs*freq)
+	m.Ctr.Cycles += cycles
+	if s := metrics.StmtOf(p); s != nil {
+		s.Instructions += instr
+		s.Cycles += cycles
+	}
 
 	p.Sleep(dur)
 

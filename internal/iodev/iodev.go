@@ -191,6 +191,10 @@ func (d *Device) ReadErr(p *sim.Proc, bytes int64) (sim.Duration, error) {
 	p.Sleep(delay + sim.Duration(d.Spec.ReadLatNs))
 	d.Ctr.SSDReadBytes += bytes
 	d.Ctr.SSDReadOps++
+	if s := metrics.StmtOf(p); s != nil {
+		s.SSDReadBytes += bytes
+		s.SSDReadOps++
+	}
 	if f := d.fault; f != nil && f.apply(p, f.ReadStallNs, f.ReadErrProb, d.Ctr) {
 		return sim.Duration(p.Now() - start), ErrTransient
 	}
@@ -250,6 +254,10 @@ func (d *Device) WriteErr(p *sim.Proc, bytes int64) (sim.Duration, error) {
 	p.Sleep(delay + sim.Duration(d.Spec.WriteLatNs))
 	d.Ctr.SSDWriteBytes += bytes
 	d.Ctr.SSDWriteOps++
+	if s := metrics.StmtOf(p); s != nil {
+		s.SSDWriteBytes += bytes
+		s.SSDWriteOps++
+	}
 	if f := d.fault; f != nil && f.apply(p, f.WriteStallNs, f.WriteErrProb, d.Ctr) {
 		return sim.Duration(p.Now() - start), ErrTransient
 	}

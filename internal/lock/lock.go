@@ -229,7 +229,7 @@ func (m *Manager) waitFor(p *sim.Proc, key Key, e *entry, w *waiter) (sim.Durati
 				}
 			}
 			wait := sim.Duration(p.Now() - start)
-			m.ctr.AddWait(metrics.WaitLock, wait)
+			metrics.ChargeWait(p, m.ctr, metrics.WaitLock, wait)
 			m.WaitNsByObj[key.Obj] += int64(wait)
 			m.Timeouts++
 			m.promote(key, e)
@@ -237,7 +237,7 @@ func (m *Manager) waitFor(p *sim.Proc, key Key, e *entry, w *waiter) (sim.Durati
 		}
 	}
 	wait := sim.Duration(p.Now() - start)
-	m.ctr.AddWait(metrics.WaitLock, wait)
+	metrics.ChargeWait(p, m.ctr, metrics.WaitLock, wait)
 	m.WaitNsByObj[key.Obj] += int64(wait)
 	e.mergeGrant(w.owner, w.mode)
 	return wait, true
@@ -335,7 +335,7 @@ func NewNamedLatch(name string, ctr *metrics.Counters) *NamedLatch {
 // releases it.
 func (l *NamedLatch) Do(p *sim.Proc, holdNs float64) {
 	wait := l.res.Acquire(p)
-	l.ctr.AddWait(metrics.WaitLatch, wait)
+	metrics.ChargeWait(p, l.ctr, metrics.WaitLatch, wait)
 	if holdNs > 0 {
 		p.Sleep(sim.Duration(holdNs))
 	}

@@ -1,0 +1,214 @@
+package metrics
+
+import (
+	"math"
+	"math/bits"
+	"sort"
+
+	"repro/internal/sim"
+)
+
+// HistBuckets is the number of log2 latency buckets: bucket i counts
+// observations in [2^(i-1), 2^i) nanoseconds (bucket 0 is [0, 1)).
+const HistBuckets = 64
+
+// Histogram is a log2-bucketed latency histogram. Buckets double in width,
+// so it covers nanoseconds to hours in 64 fixed slots with bounded error;
+// quantiles interpolate linearly inside a bucket. The zero value is ready
+// to use, and merging is element-wise addition.
+type Histogram struct {
+	Counts [HistBuckets]int64
+	N      int64
+	SumNs  int64
+	MaxNs  int64
+}
+
+// Observe records one latency.
+func (h *Histogram) Observe(d sim.Duration) {
+	ns := int64(d)
+	if ns < 0 {
+		ns = 0
+	}
+	h.Counts[bits.Len64(uint64(ns))]++
+	h.N++
+	h.SumNs += ns
+	if ns > h.MaxNs {
+		h.MaxNs = ns
+	}
+}
+
+// Merge adds o's observations into h.
+func (h *Histogram) Merge(o Histogram) {
+	for i, c := range o.Counts {
+		h.Counts[i] += c
+	}
+	h.N += o.N
+	h.SumNs += o.SumNs
+	if o.MaxNs > h.MaxNs {
+		h.MaxNs = o.MaxNs
+	}
+}
+
+// Mean returns the mean latency in ns, or 0 when empty.
+func (h Histogram) Mean() float64 {
+	if h.N == 0 {
+		return 0
+	}
+	return float64(h.SumNs) / float64(h.N)
+}
+
+// Quantile returns the q-th quantile (q in [0,1]) in nanoseconds by linear
+// interpolation within the containing bucket, or 0 when empty. The upper
+// edge of the topmost populated bucket is clamped to the observed maximum.
+func (h Histogram) Quantile(q float64) float64 {
+	if h.N == 0 {
+		return 0
+	}
+	if q < 0 {
+		q = 0
+	}
+	if q > 1 {
+		q = 1
+	}
+	rank := q * float64(h.N)
+	cum := int64(0)
+	for i, c := range h.Counts {
+		if c == 0 {
+			continue
+		}
+		if float64(cum+c) >= rank {
+			lo, hi := bucketBounds(i)
+			if hi > float64(h.MaxNs) {
+				hi = float64(h.MaxNs)
+			}
+			if hi < lo {
+				hi = lo
+			}
+			frac := (rank - float64(cum)) / float64(c)
+			return lo + (hi-lo)*frac
+		}
+		cum += c
+	}
+	return float64(h.MaxNs)
+}
+
+// bucketBounds returns bucket i's [lo, hi) range in ns.
+func bucketBounds(i int) (lo, hi float64) {
+	if i == 0 {
+		return 0, 1
+	}
+	return math.Exp2(float64(i - 1)), math.Exp2(float64(i))
+}
+
+// QueryStatRow is one query template's cumulative execution statistics —
+// the dm_exec_query_stats analogue, extended with the wait attribution
+// and robustness counters this engine tracks.
+type QueryStatRow struct {
+	Query string // template label, e.g. "tpch.Q14" or "tpce.TradeOrder"
+
+	Executions int64 // completed executions (each retry attempt counts)
+	Errors     int64 // executions that failed (IO, deadline, canceled, abort)
+	Kills      int64 // executions killed at the statement deadline
+	Retries    int64 // driver-level retry attempts of this template
+	Degraded   int64 // executions re-planned at lower DOP/grant
+
+	Rows     int64 // rows returned, cumulative
+	Spills   int64 // workspace spills, cumulative
+	TotalNs  int64 // simulated elapsed time, cumulative
+	MaxNs    int64 // slowest execution
+	WaitNs   [NumWaitClasses]int64
+	Hist     Histogram
+	Counters Counters // full attributed counter deltas, cumulative
+}
+
+// Exec describes one finished execution for QueryStats.Record.
+type Exec struct {
+	Elapsed  sim.Duration
+	Rows     int64
+	Failed   bool
+	Killed   bool
+	Degraded bool
+	Stmt     *Counters // statement-attributed counters (nil = none captured)
+}
+
+// QueryStats is the cumulative per-query-template statistics store. One
+// store belongs to one server (and thus one simulation), so access is
+// serialized by the simulation kernel and needs no locking.
+type QueryStats struct {
+	rows map[string]*QueryStatRow
+}
+
+// NewQueryStats creates an empty store.
+func NewQueryStats() *QueryStats {
+	return &QueryStats{rows: make(map[string]*QueryStatRow)}
+}
+
+func (qs *QueryStats) row(query string) *QueryStatRow {
+	r := qs.rows[query]
+	if r == nil {
+		r = &QueryStatRow{Query: query}
+		qs.rows[query] = r
+	}
+	return r
+}
+
+// Record folds one execution into the template's row.
+func (qs *QueryStats) Record(query string, e Exec) {
+	if qs == nil || query == "" {
+		return
+	}
+	r := qs.row(query)
+	r.Executions++
+	if e.Failed {
+		r.Errors++
+	}
+	if e.Killed {
+		r.Kills++
+	}
+	if e.Degraded {
+		r.Degraded++
+	}
+	r.Rows += e.Rows
+	r.TotalNs += int64(e.Elapsed)
+	if int64(e.Elapsed) > r.MaxNs {
+		r.MaxNs = int64(e.Elapsed)
+	}
+	r.Hist.Observe(e.Elapsed)
+	if e.Stmt != nil {
+		r.Spills += e.Stmt.Spills
+		for i, ns := range e.Stmt.WaitNs {
+			r.WaitNs[i] += ns
+		}
+		r.Counters = r.Counters.add(*e.Stmt)
+	}
+}
+
+// AddRetry counts a driver-level retry attempt of the template.
+func (qs *QueryStats) AddRetry(query string) {
+	if qs == nil || query == "" {
+		return
+	}
+	qs.row(query).Retries++
+}
+
+// Snapshot returns a deep copy of every row, sorted by query label, so
+// reports and exporters iterate deterministically.
+func (qs *QueryStats) Snapshot() []QueryStatRow {
+	if qs == nil {
+		return nil
+	}
+	out := make([]QueryStatRow, 0, len(qs.rows))
+	for _, r := range qs.rows {
+		out = append(out, *r)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Query < out[j].Query })
+	return out
+}
+
+// add returns c + o field-wise (the cumulative-fold dual of Sub).
+func (c Counters) add(o Counters) Counters {
+	zero := Counters{}
+	// c - (0 - o) computes c + o while reusing Sub's field coverage, so a
+	// counter added to the struct cannot be summed here but missed there.
+	return c.Sub(zero.Sub(o))
+}

@@ -1,0 +1,30 @@
+package metrics
+
+import "repro/internal/sim"
+
+// Per-statement attribution.
+//
+// The engine attaches a statement-local *Counters to the session proc
+// (sim.Proc.SetAttr) before running a statement, and query workers inherit
+// the coordinator's attachment at spawn. Layers that record waits or I/O —
+// the lock manager, buffer pool, WAL, CPU scheduler, device — charge both
+// their global counter set and, when present, the statement's, so waits
+// are attributed to the owning statement the way SQL Server's
+// sys.dm_exec_session_wait_stats attributes them to a session. With no
+// attachment the cost is one nil interface check per charge.
+
+// StmtOf returns the per-statement counter set attached to the proc, or
+// nil when attribution is off.
+func StmtOf(p *sim.Proc) *Counters {
+	s, _ := p.Attr().(*Counters)
+	return s
+}
+
+// ChargeWait records a wait on the global counters and on any statement
+// counters attached to the proc.
+func ChargeWait(p *sim.Proc, global *Counters, class WaitClass, ns sim.Duration) {
+	global.AddWait(class, ns)
+	if s := StmtOf(p); s != nil {
+		s.AddWait(class, ns)
+	}
+}

@@ -40,6 +40,10 @@ const (
 type LNode struct {
 	Kind LKind
 
+	// Label names the query template at the root node (e.g. "tpch.Q14");
+	// the engine keys cumulative query statistics by it.
+	Label string
+
 	Left  *LNode
 	Right *LNode
 

@@ -107,7 +107,20 @@ type Proc struct {
 	epoch   uint64 // increments on every resume; stale wakeups are dropped
 	done    bool
 	fail    error // errno-style sticky failure slot (see SetFail)
+	attr    any   // opaque per-proc attribution slot (see SetAttr)
 }
+
+// SetAttr attaches an opaque attribution value to the proc. Higher layers
+// use it to charge activity to the owning statement without threading a
+// parameter through every call chain: the engine attaches a per-statement
+// counter set before running a statement, layers that record waits or I/O
+// look it up via their own typed accessor (e.g. metrics.StmtOf), and query
+// workers propagate the coordinator's value at spawn. Because the
+// simulation is strictly serialized, reads and writes never race.
+func (p *Proc) SetAttr(v any) { p.attr = v }
+
+// Attr returns the value attached with SetAttr, or nil.
+func (p *Proc) Attr() any { return p.attr }
 
 // SetFail records a sticky failure on the proc, errno-style: a layer that
 // cannot return an error through its call chain (e.g. a buffer-pool read

@@ -1,0 +1,89 @@
+package trace
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/metrics"
+	"repro/internal/sim"
+)
+
+func TestSpanTreeDeltasAndTiming(t *testing.T) {
+	stmt := &metrics.Counters{}
+	tr := New("tpch.Q14", stmt)
+
+	root := tr.Enter("Hash Join", "", true, 100, sim.Time(0))
+	stmt.BufferHits += 5
+	child := tr.Enter("Columnstore Scan", "lineitem", true, 400, sim.Time(10*sim.Millisecond))
+	stmt.BufferMisses += 3
+	stmt.Spills++
+	stmt.SSDReadBytes += 4096
+	stmt.AddWait(metrics.WaitPageIOLatch, 2*sim.Millisecond)
+	tr.Exit(child, 400, 800, sim.Time(40*sim.Millisecond))
+	stmt.BufferHits += 2
+	tr.Exit(root, 90, 90, sim.Time(50*sim.Millisecond))
+
+	if tr.Root != root || len(root.Children) != 1 || root.Children[0] != child {
+		t.Fatal("span tree shape wrong")
+	}
+	if child.ActRows != 400 || child.NomRows != 800 || root.ActRows != 90 {
+		t.Fatalf("rows: child act=%d nom=%d root act=%d", child.ActRows, child.NomRows, root.ActRows)
+	}
+
+	// The child sees only the deltas accumulated while it was open.
+	if child.BufferHits != 0 || child.BufferMisses != 3 || child.Spills != 1 || child.SSDReadBytes != 4096 {
+		t.Fatalf("child deltas = %+v", child)
+	}
+	if child.WaitNs[metrics.WaitPageIOLatch] != int64(2*sim.Millisecond) {
+		t.Fatalf("child wait = %d", child.WaitNs[metrics.WaitPageIOLatch])
+	}
+	// The root is inclusive of its subtree, showplan-style.
+	if root.BufferHits != 7 || root.BufferMisses != 3 || root.Spills != 1 {
+		t.Fatalf("root deltas = %+v", root)
+	}
+	if root.TotalWaitNs() != int64(2*sim.Millisecond) {
+		t.Fatalf("root wait = %d", root.TotalWaitNs())
+	}
+
+	if root.Elapsed() != 50*sim.Millisecond || child.Elapsed() != 30*sim.Millisecond {
+		t.Fatalf("elapsed: root=%v child=%v", root.Elapsed(), child.Elapsed())
+	}
+	if root.SelfElapsed() != 20*sim.Millisecond || child.SelfElapsed() != 30*sim.Millisecond {
+		t.Fatalf("self: root=%v child=%v", root.SelfElapsed(), child.SelfElapsed())
+	}
+	if tr.Elapsed() != 50*sim.Millisecond {
+		t.Fatalf("trace elapsed = %v", tr.Elapsed())
+	}
+
+	out := tr.Render()
+	for _, want := range []string{
+		"actual plan: tpch.Q14",
+		"Hash Join",
+		"Columnstore Scan [lineitem]",
+		"act 400 rows",
+		"spills 1",
+		"PAGEIOLATCH",
+		"waits:",
+	} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("render missing %q in:\n%s", want, out)
+		}
+	}
+}
+
+// TestNilStmtTrace: a trace without attached statement counters still
+// records rows and timing, and renders without panicking.
+func TestNilStmtTrace(t *testing.T) {
+	tr := New("q", nil)
+	sp := tr.Enter("Scan", "", false, 1, sim.Time(0))
+	tr.Exit(sp, 1, 1, sim.Time(sim.Millisecond))
+	if tr.Root != sp || sp.ActRows != 1 || sp.Elapsed() != sim.Millisecond {
+		t.Fatalf("span = %+v", sp)
+	}
+	if sp.BufferHits != 0 || sp.TotalWaitNs() != 0 {
+		t.Fatalf("nil-stmt span picked up deltas: %+v", sp)
+	}
+	if out := tr.Render(); !strings.Contains(out, "actual plan: q") {
+		t.Fatalf("render: %s", out)
+	}
+}

@@ -98,7 +98,7 @@ func (l *Log) Commit(p *sim.Proc, lastBytes int64) sim.Duration {
 		l.commitQ.Wait(p)
 	}
 	wait := sim.Duration(p.Now() - start)
-	l.ctr.AddWait(metrics.WaitWriteLog, wait)
+	metrics.ChargeWait(p, l.ctr, metrics.WaitWriteLog, wait)
 	return wait
 }
 

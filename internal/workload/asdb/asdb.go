@@ -16,6 +16,7 @@ import (
 	"repro/internal/access"
 	"repro/internal/btree"
 	"repro/internal/engine"
+	"repro/internal/metrics"
 	"repro/internal/sim"
 	"repro/internal/storage"
 )
@@ -236,20 +237,37 @@ func RunClients(srv *engine.Server, d *Dataset, clients int, mix Mix, until sim.
 				g:    srv.Sim.RNG().Fork(),
 				zBig: sim.NewZipf(d.Big.NominalRows(), 0.6),
 			}
+			// run executes one attempt with per-statement counters attached
+			// and folds it into the server's query stats ("asdb.<OpName>").
+			run := func(e entry) bool {
+				t0 := p.Now()
+				stmt := &metrics.Counters{}
+				prev := p.Attr()
+				p.SetAttr(stmt)
+				ok := e.fn(c)
+				p.SetAttr(prev)
+				srv.QStats.Record("asdb."+e.name, metrics.Exec{
+					Elapsed: sim.Duration(p.Now() - t0),
+					Failed:  !ok,
+					Stmt:    stmt,
+				})
+				return ok
+			}
 			for !srv.Stopped() && p.Now() < until {
 				pick := c.g.Float64() * totalW
 				for _, e := range entries {
 					pick -= e.w
 					if pick <= 0 {
-						ok := e.fn(c)
+						ok := run(e)
 						if !ok && pol.Enabled() {
 							for attempt := 1; attempt < pol.MaxAttempts && !srv.Stopped(); attempt++ {
 								if qe := c.sess.TakeErr(); qe != nil && !qe.Retryable() {
 									break
 								}
 								srv.Ctr.TxnRetries++
+								srv.QStats.AddRetry("asdb." + e.name)
 								pol.Sleep(p, c.g, attempt)
-								if ok = e.fn(c); ok {
+								if ok = run(e); ok {
 									break
 								}
 							}

@@ -49,6 +49,7 @@ func Run(srv *engine.Server, d *tpce.Dataset, oltpUsers int, until sim.Time, st 
 				for attempt := 1; attempt < pol.MaxAttempts &&
 					res.Err != nil && res.Err.Retryable() && !srv.Stopped(); attempt++ {
 					srv.Ctr.QueryRetries++
+					srv.QStats.AddRetry(q.Label)
 					pol.Sleep(p, g, attempt)
 					res = srv.RunQuery(p, q, 0, 0)
 				}

@@ -2,6 +2,7 @@ package tpce
 
 import (
 	"repro/internal/engine"
+	"repro/internal/metrics"
 	"repro/internal/sim"
 )
 
@@ -82,12 +83,29 @@ func RunUsers(srv *engine.Server, d *Dataset, users int, mix Mix, until sim.Time
 				g:    srv.Sim.RNG().Fork(),
 				zA:   sim.NewZipf(d.NAcct(), 0.55),
 			}
+			// run executes one transaction attempt with a fresh statement
+			// counter set attached, folding the attempt into the server's
+			// per-template query statistics ("tpce.<TxnName>").
+			run := func(e entry) bool {
+				t0 := p.Now()
+				stmt := &metrics.Counters{}
+				prev := p.Attr()
+				p.SetAttr(stmt)
+				ok := e.fn(u)
+				p.SetAttr(prev)
+				srv.QStats.Record("tpce."+e.name, metrics.Exec{
+					Elapsed: sim.Duration(p.Now() - t0),
+					Failed:  !ok,
+					Stmt:    stmt,
+				})
+				return ok
+			}
 			for !srv.Stopped() && p.Now() < until {
 				pick := u.g.Float64() * totalW
 				for _, e := range entries {
 					pick -= e.w
 					if pick <= 0 {
-						ok := e.fn(u)
+						ok := run(e)
 						if !ok && pol.Enabled() {
 							// Bounded retry with backoff for transient
 							// aborts (victim, IO); shutdown is terminal.
@@ -96,8 +114,9 @@ func RunUsers(srv *engine.Server, d *Dataset, users int, mix Mix, until sim.Time
 									break
 								}
 								srv.Ctr.TxnRetries++
+								srv.QStats.AddRetry("tpce." + e.name)
 								pol.Sleep(p, u.g, attempt)
-								if ok = e.fn(u); ok {
+								if ok = run(e); ok {
 									break
 								}
 							}

@@ -13,16 +13,22 @@ import (
 
 // AnalyticalQuery returns query n (0..3).
 func (d *Dataset) AnalyticalQuery(n int, g *sim.RNG) *opt.LNode {
+	var q *opt.LNode
 	switch n % 4 {
 	case 0:
-		return d.qaVolumeBySector(g)
+		q = d.qaVolumeBySector(g)
+		q.Label = "tpce.QA.VolumeBySector"
 	case 1:
-		return d.qaBrokerCommission(g)
+		q = d.qaBrokerCommission(g)
+		q.Label = "tpce.QA.BrokerCommission"
 	case 2:
-		return d.qaDailyActivity(g)
+		q = d.qaDailyActivity(g)
+		q.Label = "tpce.QA.DailyActivity"
 	default:
-		return d.qaBigAccounts(g)
+		q = d.qaBigAccounts(g)
+		q.Label = "tpce.QA.BigAccounts"
 	}
+	return q
 }
 
 // NumAnalytical is the number of HTAP analytical queries.

@@ -41,6 +41,7 @@ func RunStreams(srv *engine.Server, d *Dataset, streams int, until sim.Time, don
 						for attempt := 1; attempt < pol.MaxAttempts &&
 							res.Err != nil && res.Err.Retryable() && !srv.Stopped(); attempt++ {
 							srv.Ctr.QueryRetries++
+							srv.QStats.AddRetry(q.Label)
 							pol.Sleep(p, g, attempt)
 							res = srv.RunQuery(p, q, 0, 0)
 						}

@@ -1,6 +1,7 @@
 package tpch
 
 import (
+	"fmt"
 	"strings"
 
 	"repro/internal/exec"
@@ -14,6 +15,12 @@ import (
 // aggregation, ordering — with predicates compiled against the generated
 // data. DESIGN.md documents per-query simplifications.
 func (d *Dataset) Query(n int, g *sim.RNG) *opt.LNode {
+	q := d.query(n, g)
+	q.Label = fmt.Sprintf("tpch.Q%d", n)
+	return q
+}
+
+func (d *Dataset) query(n int, g *sim.RNG) *opt.LNode {
 	switch n {
 	case 1:
 		return d.q1(g)
