@@ -8,7 +8,10 @@
 // Experiments: table2, fig2cores, fig2llc, table3, table4, fig3, fig4,
 // fig5, fig5write, fig6, fig7, fig8, trace, qstats, all. With -faults,
 // the resilience experiment sweeps a fault-intensity axis and reports
-// throughput retention (see EXPERIMENTS.md, "Resilience experiments").
+// throughput retention, and the recovery experiment crashes the engine at
+// seeded points, restarts it ARIES-style, and reports MTTR versus
+// checkpoint interval and storage bandwidth plus a verified crash matrix
+// (see EXPERIMENTS.md, "Resilience experiments" and "Crash recovery").
 //
 // With -emit json|csv, every result is also written as structured
 // records (JSONL or fixed-column CSV) to the -o path, byte-identical
@@ -91,12 +94,12 @@ func sfsFor(w harness.Workload) []int {
 func main() {
 	flag.Parse()
 	if flag.NArg() != 1 {
-		fmt.Fprintln(os.Stderr, "usage: dbsense [flags] <table2|fig2cores|fig2llc|table3|table4|fig3|fig4|fig5|fig5write|fig6|fig7|fig8|trace|qstats|resilience|all>")
+		fmt.Fprintln(os.Stderr, "usage: dbsense [flags] <table2|fig2cores|fig2llc|table3|table4|fig3|fig4|fig5|fig5write|fig6|fig7|fig8|trace|qstats|resilience|recovery|all>")
 		os.Exit(2)
 	}
 	exp := flag.Arg(0)
-	if exp == "resilience" && !*faults {
-		fmt.Fprintln(os.Stderr, "the resilience experiment requires -faults")
+	if (exp == "resilience" || exp == "recovery") && !*faults {
+		fmt.Fprintf(os.Stderr, "the %s experiment requires -faults\n", exp)
 		os.Exit(2)
 	}
 	if *emitFmt != "" {
@@ -307,6 +310,73 @@ func run(exp string) {
 					},
 				})
 			}
+		}
+	case "recovery":
+		sf := 2000
+		intervals := harness.RecoveryCkptIntervals
+		if *quick {
+			sf = 1000
+			intervals = []sim.Duration{500 * sim.Millisecond, 2 * sim.Second}
+		}
+		res := harness.Recovery(sf, o, intervals, nil)
+		fmt.Print(res.String())
+		for _, p := range res.Points {
+			em.Emit(harness.Record{
+				Record: "curve_point", Experiment: "recovery", Workload: "asdb", SF: sf,
+				Metric: "mttr_ms", Name: fmt.Sprintf("bw%.0fMBps", p.BandwidthMBps),
+				Knob: "ckpt_interval_ms", X: p.CkptInterval.Seconds() * 1e3,
+				Value: p.MTTRMs, Unit: "ms",
+			})
+			em.Emit(harness.Record{
+				Record: "point", Experiment: "recovery", Workload: "asdb", SF: sf,
+				Name: fmt.Sprintf("bw%.0fMBps", p.BandwidthMBps),
+				Knob: "ckpt_interval_ms", X: p.CkptInterval.Seconds() * 1e3,
+				Fields: map[string]float64{
+					"mttr_ms":        p.MTTRMs,
+					"log_scanned_kb": p.LogScannedKB,
+					"redo_pages":     float64(p.RedoPages),
+					"undo_records":   float64(p.UndoRecords),
+					"clrs":           float64(p.CLRs),
+					"winners":        float64(p.Winners),
+					"losers":         float64(p.Losers),
+					"lost_txns":      float64(p.LostTxns),
+				},
+			})
+		}
+		if err := res.Err(); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		m := harness.CrashMatrix(sf, o, nil)
+		fmt.Print(m.String())
+		for _, c := range m.Cells {
+			idem := 0.0
+			if c.Run.Idempotent() {
+				idem = 1
+			}
+			rep := c.Run.Report
+			em.Emit(harness.Record{
+				Record: "point", Experiment: "recovery_matrix", Workload: "asdb", SF: sf,
+				Name: c.Plan.Point.String(), Knob: "nth", X: float64(c.Plan.Nth),
+				Text: c.Run.InvariantErr,
+				Fields: map[string]float64{
+					"crash_lsn":    float64(rep.CrashLSN),
+					"lost_records": float64(rep.LostRecords),
+					"lost_txns":    float64(rep.LostTxns),
+					"winners":      float64(rep.Winners),
+					"losers":       float64(rep.Losers),
+					"redo_pages":   float64(rep.RedoPages),
+					"undo_records": float64(rep.UndoRecords),
+					"clrs":         float64(rep.CLRs),
+					"mttr_ms":      rep.Elapsed.Seconds() * 1e3,
+					"passes":       float64(c.Run.Passes),
+					"idempotent":   idem,
+				},
+			})
+		}
+		if err := m.Err(); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
 		}
 	case "fig8":
 		res := harness.Fig8(o, nil)

@@ -173,6 +173,19 @@ func (ix *BTIndex) ChargeMaintenance(ctx *Ctx, nid int64) {
 	ctx.CPU(ctx.Cost.LevelInstr)
 }
 
+// MaintPage returns the (file ID, page) a maintenance write at nominal
+// position nid dirties — the leaf within the table's data file for
+// clustered indexes, the index's own leaf otherwise. The engine stamps
+// it on index-maintenance log records so recovery redo charges the same
+// pages the forward path touched.
+func (ix *BTIndex) MaintPage(nid int64) (int, int64) {
+	leaf := ix.leafPage(nid)
+	if ix.Clustered {
+		return ix.Table.Data.ID, leaf
+	}
+	return ix.File.ID, leaf
+}
+
 // InsertActual adds an actual row to the functional tree (after the table
 // materialized it).
 func (ix *BTIndex) InsertActual(rowID int64) {

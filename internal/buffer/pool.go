@@ -13,11 +13,14 @@ package buffer
 
 import (
 	"fmt"
+	"math/bits"
+	"sort"
 
 	"repro/internal/iodev"
 	"repro/internal/metrics"
 	"repro/internal/sim"
 	"repro/internal/storage"
+	"repro/internal/wal"
 )
 
 // latchStripes is the size of the page-latch hash table. Collisions
@@ -88,7 +91,31 @@ type Pool struct {
 	// Checkpoint pacing.
 	CheckpointInterval sim.Duration
 
+	// CkptChunkHook, when set, runs after each checkpoint chunk write —
+	// the seeded mid-checkpoint crash point (between the CKPT_BEGIN and
+	// CKPT_END records).
+	CkptChunkHook func()
+
+	// Crash-recovery bookkeeping (armed runs only). recLSN is captured at
+	// first-dirty, pageLSN at last-dirty (both as the append position at
+	// modification time — the log record for the write joins the stream
+	// at commit, so these are conservative lower bounds); durable is the
+	// LSN the on-device page image reflects, advanced at writeback.
+	armed      bool
+	log        *wal.Log
+	activeTxns func() []int64
+	dirtyRec   map[pageKey]int64 // recLSN per dirty page
+	dirtyLast  map[pageKey]int64 // pageLSN per dirty page
+	durable    map[pageKey]int64 // LSN of the durable page image
+
+	ckptQ   sim.WaitQueue // checkpointer parks here between rounds
 	stopped bool
+}
+
+// pageKey names a page globally for the recovery maps.
+type pageKey struct {
+	file int
+	page int64
 }
 
 // New creates a pool with the given capacity in bytes.
@@ -245,6 +272,9 @@ func (p *Pool) Probe(proc *sim.Proc, f *storage.File, pageNo int64, write bool, 
 	fs.set(fs.referenced, pageNo, true)
 	if write {
 		fs.set(fs.dirty, pageNo, true)
+		if p.armed {
+			p.markDirty(pageKey{f.ID, pageNo})
+		}
 		if holdNs > 0 {
 			proc.Sleep(sim.Duration(holdNs))
 		}
@@ -358,12 +388,37 @@ func (p *Pool) makeRoom(n int64) {
 			continue
 		}
 		dirtyEvicted := evictable & fs.dirty[p.handWord]
+		if p.armed && dirtyEvicted != 0 {
+			// WAL-before-data: a dirty page whose pageLSN is past the
+			// flushed LSN cannot be written back yet — skip it this sweep
+			// (the eviction overshoots onto other victims instead).
+			var blocked uint64
+			for b := dirtyEvicted; b != 0; b &= b - 1 {
+				bit := b & -b
+				pg := int64(p.handWord)*64 + int64(bits.TrailingZeros64(bit))
+				if p.dirtyLast[pageKey{fs.file.ID, pg}] > p.log.FlushedLSN() {
+					blocked |= bit
+				}
+			}
+			evictable &^= blocked
+			dirtyEvicted &^= blocked
+			if evictable == 0 {
+				p.handWord++
+				continue
+			}
+		}
 		fs.dirty[p.handWord] &^= evictable
 		fs.resident[p.handWord] &^= evictable
 		cnt := int64(popcount(evictable))
 		fs.nResident -= cnt
 		p.resident -= cnt
 		if dirtyEvicted != 0 {
+			if p.armed {
+				for b := dirtyEvicted; b != 0; b &= b - 1 {
+					pg := int64(p.handWord)*64 + int64(bits.TrailingZeros64(b&-b))
+					p.markDurable(pageKey{fs.file.ID, pg})
+				}
+			}
 			p.dev.WriteAsync(p.sm.Now(), int64(popcount(dirtyEvicted))*storage.PageBytes)
 		}
 		p.handWord++
@@ -383,42 +438,174 @@ func popcount(x uint64) int {
 // CheckpointInterval it walks the dirty bitsets and writes dirty pages
 // back in 1 MB chunks using blocking writes, so it self-paces against the
 // device and any blkio write throttle — competing with log flushes
-// exactly as a real checkpoint does.
+// exactly as a real checkpoint does. With recovery armed each round is a
+// fuzzy checkpoint: a CKPT_BEGIN record, a dirty-page-table and
+// active-transaction-table snapshot, WAL-before-data writeback, and a
+// CKPT_END record carrying the snapshot.
 func (p *Pool) StartCheckpointer() {
 	p.sm.Spawn("checkpoint", func(proc *sim.Proc) {
-		const chunkPages = 128 // 1 MB
 		for !p.stopped {
-			proc.Sleep(p.CheckpointInterval)
-			for _, fs := range p.files {
-				pending := int64(0)
-				for wi := range fs.dirty {
-					d := fs.dirty[wi] & fs.resident[wi]
-					if d == 0 {
-						continue
-					}
-					fs.dirty[wi] &^= d
-					pending += int64(popcount(d))
-					for pending >= chunkPages {
-						p.dev.Write(proc, chunkPages*storage.PageBytes)
-						pending -= chunkPages
-						if p.stopped {
-							return
-						}
+			p.ckptQ.WaitTimeout(proc, p.CheckpointInterval)
+			if p.stopped {
+				return
+			}
+			p.checkpoint(proc)
+		}
+	})
+}
+
+// checkpoint runs one checkpoint round. It may return early when the
+// pool stops (or crashes) mid-round — the fuzzy checkpoint then has no
+// CKPT_END record and recovery falls back to the previous complete one.
+func (p *Pool) checkpoint(proc *sim.Proc) {
+	const chunkPages = 128 // 1 MB
+	var dpt []wal.PageRecLSN
+	var att []int64
+	if p.armed {
+		p.log.AppendBatch([]*wal.Record{{Type: wal.RecCkptBegin}})
+		dpt = p.snapshotDPT()
+		if p.activeTxns != nil {
+			att = p.activeTxns()
+		}
+	}
+	// Pages whose dirty bit was cleared this round but whose chunk has
+	// not been written yet (armed bookkeeping).
+	var inFlight []pageKey
+	var inFlightLSN int64
+	written := func(n int64) {
+		for ; n > 0 && len(inFlight) > 0; n-- {
+			p.markDurable(inFlight[0])
+			inFlight = inFlight[1:]
+		}
+	}
+	for _, fs := range p.files {
+		pending := int64(0)
+		for wi := range fs.dirty {
+			d := fs.dirty[wi] & fs.resident[wi]
+			if d == 0 {
+				continue
+			}
+			fs.dirty[wi] &^= d
+			pending += int64(popcount(d))
+			if p.armed {
+				for b := d; b != 0; b &= b - 1 {
+					pg := int64(wi)*64 + int64(bits.TrailingZeros64(b&-b))
+					pk := pageKey{fs.file.ID, pg}
+					inFlight = append(inFlight, pk)
+					if l := p.dirtyLast[pk]; l > inFlightLSN {
+						inFlightLSN = l
 					}
 				}
-				if pending > 0 {
-					p.dev.Write(proc, pending*storage.PageBytes)
+			}
+			for pending >= chunkPages {
+				if !p.flushBeforeData(proc, inFlightLSN) {
+					return
 				}
+				p.dev.Write(proc, chunkPages*storage.PageBytes)
+				written(chunkPages)
+				if p.CkptChunkHook != nil {
+					p.CkptChunkHook()
+				}
+				pending -= chunkPages
 				if p.stopped {
 					return
 				}
 			}
 		}
-	})
+		if pending > 0 {
+			if !p.flushBeforeData(proc, inFlightLSN) {
+				return
+			}
+			p.dev.Write(proc, pending*storage.PageBytes)
+			written(pending)
+			if p.CkptChunkHook != nil {
+				p.CkptChunkHook()
+			}
+		}
+		if p.stopped {
+			return
+		}
+	}
+	if p.armed {
+		p.log.AppendBatch([]*wal.Record{{Type: wal.RecCkptEnd, DPT: dpt, ATT: att}})
+	}
 }
 
-// Stop makes background procs exit at their next wakeup.
-func (p *Pool) Stop() { p.stopped = true }
+// flushBeforeData enforces WAL-before-data: the log must be durable past
+// the highest pageLSN among the pages about to be written. It reports
+// false when the log stopped before reaching it.
+func (p *Pool) flushBeforeData(proc *sim.Proc, lsn int64) bool {
+	if !p.armed || lsn == 0 {
+		return true
+	}
+	_, err := p.log.WaitDurable(proc, lsn)
+	return err == nil
+}
+
+// Stop makes background procs exit at their next wakeup; the
+// checkpointer is woken so it notices immediately instead of sleeping
+// out the rest of its interval.
+func (p *Pool) Stop() {
+	p.stopped = true
+	p.ckptQ.WakeAll(p.sm)
+}
+
+// ArmRecovery switches the pool into crash-recovery mode: per-page
+// recLSN/pageLSN tracking, WAL-before-data on writeback and eviction,
+// and fuzzy-checkpoint records through the log. activeTxns supplies the
+// active-transaction table captured by each checkpoint.
+func (p *Pool) ArmRecovery(log *wal.Log, activeTxns func() []int64) {
+	p.armed = true
+	p.log = log
+	p.activeTxns = activeTxns
+	p.dirtyRec = make(map[pageKey]int64)
+	p.dirtyLast = make(map[pageKey]int64)
+	p.durable = make(map[pageKey]int64)
+}
+
+// markDirty records the append-position horizon of a page modification.
+func (p *Pool) markDirty(pk pageKey) {
+	lsn := p.log.AppendedLSN()
+	if _, ok := p.dirtyRec[pk]; !ok {
+		p.dirtyRec[pk] = lsn
+	}
+	p.dirtyLast[pk] = lsn
+}
+
+// markDurable advances a page's durable image to its last-dirty LSN.
+func (p *Pool) markDurable(pk pageKey) {
+	p.durable[pk] = p.dirtyLast[pk]
+	delete(p.dirtyRec, pk)
+	delete(p.dirtyLast, pk)
+}
+
+// snapshotDPT copies the dirty-page table, sorted for determinism.
+func (p *Pool) snapshotDPT() []wal.PageRecLSN {
+	dpt := make([]wal.PageRecLSN, 0, len(p.dirtyRec))
+	for pk, rec := range p.dirtyRec {
+		dpt = append(dpt, wal.PageRecLSN{Page: wal.PageID{File: pk.file, Page: pk.page}, RecLSN: rec})
+	}
+	sort.Slice(dpt, func(i, j int) bool {
+		if dpt[i].Page.File != dpt[j].Page.File {
+			return dpt[i].Page.File < dpt[j].Page.File
+		}
+		return dpt[i].Page.Page < dpt[j].Page.Page
+	})
+	return dpt
+}
+
+// DurablePageLSN returns the LSN the durable image of a page reflects
+// (0 = the load-time image). Recovery's redo pass consults it to decide
+// which pages must be read back.
+func (p *Pool) DurablePageLSN(file int, page int64) int64 {
+	return p.durable[pageKey{file, page}]
+}
+
+// DirtyPageLSNs returns a page's (recLSN, pageLSN), zero when clean.
+func (p *Pool) DirtyPageLSNs(file int, page int64) (recLSN, pageLSN int64) {
+	pk := pageKey{file, page}
+	return p.dirtyRec[pk], p.dirtyLast[pk]
+}
 
 // WarmFile marks an entire file resident (up to pool capacity), modelling
 // a post-load warm cache. Pages beyond capacity stay cold.

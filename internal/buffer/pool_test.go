@@ -8,6 +8,7 @@ import (
 	"repro/internal/metrics"
 	"repro/internal/sim"
 	"repro/internal/storage"
+	"repro/internal/wal"
 )
 
 func setup(capacityBytes int64) (*sim.Sim, *Pool, *metrics.Counters) {
@@ -227,5 +228,66 @@ func TestResidencyInvariantUnderRandomWorkloadProperty(t *testing.T) {
 	}
 	if err := quick.Check(f, &quick.Config{MaxCount: 10}); err != nil {
 		t.Fatal(err)
+	}
+}
+
+// Stop must wake the checkpointer out of its between-checkpoint sleep:
+// with a huge interval, the proc still exits promptly instead of sleeping
+// the interval out.
+func TestStopWakesCheckpointerPromptly(t *testing.T) {
+	s, p, _ := setup(100 << 20)
+	p.CheckpointInterval = 10000 * sim.Second
+	p.StartCheckpointer()
+	s.Run(sim.Time(sim.Second))
+	if n := s.Live(); n != 1 {
+		t.Fatalf("%d live procs, want the parked checkpointer", n)
+	}
+	p.Stop()
+	s.Run(sim.Time(2 * sim.Second))
+	if n := s.Live(); n != 0 {
+		t.Fatalf("checkpointer still live %d after Stop", n)
+	}
+}
+
+// Fuzzy checkpoints under recovery arming track per-page recLSN/pageLSN
+// and refuse to write a page whose latest record is not yet durable
+// before its data write (WAL-before-data).
+func TestFuzzyCheckpointTracksRecLSN(t *testing.T) {
+	s, p, ctr := setup(100 << 20)
+	f := file(1, 1000)
+	p.Register(f)
+	dev := iodev.New(iodev.PaperSSD(), ctr)
+	l := wal.New(s, dev, ctr)
+	l.Recording = true
+	l.Start()
+	p.ArmRecovery(l, func() []int64 { return nil })
+	p.CheckpointInterval = 100 * sim.Millisecond
+	p.StartCheckpointer()
+	s.Spawn("w", func(proc *sim.Proc) {
+		l.AppendBatch([]*wal.Record{{Type: wal.RecUpdate, Txn: 1, Bytes: 400}})
+		p.Probe(proc, f, 7, true, 0)
+	})
+	s.Run(sim.Time(sim.Second))
+	p.Stop()
+	l.Stop()
+	s.Run(sim.Time(2 * sim.Second))
+	if rec, last := p.DirtyPageLSNs(1, 7); rec != 0 || last != 0 {
+		t.Fatalf("page still dirty after checkpoint (recLSN=%d pageLSN=%d)", rec, last)
+	}
+	if got := p.DurablePageLSN(1, 7); got != 400 {
+		t.Fatalf("durable page LSN = %d, want 400 (appended LSN at dirtying)", got)
+	}
+	// The checkpoint's WAL records went through the log.
+	var begins, ends int
+	for _, r := range l.Records() {
+		switch r.Type {
+		case wal.RecCkptBegin:
+			begins++
+		case wal.RecCkptEnd:
+			ends++
+		}
+	}
+	if begins == 0 || ends == 0 {
+		t.Fatalf("checkpoint records begin=%d end=%d, want both", begins, ends)
 	}
 }

@@ -56,8 +56,8 @@ func TestServerOLTPRoundTrip(t *testing.T) {
 				if _, ok := sess.Read(tx, pk, key, nid); !ok {
 					t.Errorf("read miss for key %v", key)
 				}
-				sess.Update(tx, pk, key, nid, func(rowID int64) {
-					acct.Set(rowID, 1, acct.Get(rowID, 1)+5)
+				sess.Update(tx, pk, key, nid, func(w *RowWriter) {
+					w.Add(1, 5)
 				})
 				sess.Insert(tx, hist, []int64{hist.NominalRows(), nid, 5}, []*access.BTIndex{hpk}, nil)
 				sess.Commit(tx)

@@ -11,10 +11,11 @@ type ErrKind int
 
 // Error kinds.
 const (
-	ErrCanceled ErrKind = iota + 1 // server shutdown while the statement waited
-	ErrDeadline                    // statement deadline expired
-	ErrIO                          // transient device error exhausted its retries
-	ErrVictim                      // chosen as a lock-wait victim
+	ErrCanceled   ErrKind = iota + 1 // server shutdown while the statement waited
+	ErrDeadline                      // statement deadline expired
+	ErrIO                            // transient device error exhausted its retries
+	ErrVictim                        // chosen as a lock-wait victim
+	ErrNotDurable                    // log stopped/crashed before the commit record flushed
 )
 
 // String returns a short name for the kind.
@@ -28,6 +29,8 @@ func (k ErrKind) String() string {
 		return "io"
 	case ErrVictim:
 		return "victim"
+	case ErrNotDurable:
+		return "not-durable"
 	default:
 		return fmt.Sprintf("errkind(%d)", int(k))
 	}
@@ -47,5 +50,8 @@ func (e *QueryError) Error() string {
 }
 
 // Retryable reports whether a bounded retry is worthwhile. Shutdown
-// cancellation is terminal; everything else is transient.
-func (e *QueryError) Retryable() bool { return e.Kind != ErrCanceled }
+// cancellation and a not-durable commit (the log is gone) are terminal;
+// everything else is transient.
+func (e *QueryError) Retryable() bool {
+	return e.Kind != ErrCanceled && e.Kind != ErrNotDurable
+}

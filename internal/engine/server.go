@@ -5,6 +5,7 @@ import (
 	"repro/internal/buffer"
 	"repro/internal/cgroup"
 	"repro/internal/exec"
+	"repro/internal/fault"
 	"repro/internal/hw"
 	"repro/internal/iodev"
 	"repro/internal/lock"
@@ -101,9 +102,16 @@ type Server struct {
 
 	nextCore  int
 	stopped   bool
+	cleanStop bool
 	stopHooks []func()
 	tempBase  uint64
 	metaBase  uint64
+
+	// Crash-recovery state (ArmRecovery only).
+	armed     bool
+	crashed   bool
+	crasher   *fault.Crasher
+	liveAtArm map[int]int64 // live rows per table at arm time (invariants)
 }
 
 // NewServer builds a server and its background services.
@@ -184,6 +192,7 @@ func (s *Server) Start() {
 // workload drivers should consult Stopped.
 func (s *Server) Stop() {
 	s.stopped = true
+	s.cleanStop = true
 	s.Log.Stop()
 	s.BP.Stop()
 	s.Smp.Stop()

@@ -7,6 +7,7 @@ import (
 	"repro/internal/sim"
 	"repro/internal/storage"
 	"repro/internal/txn"
+	"repro/internal/wal"
 )
 
 // Session is one client connection: a proc with an execution context
@@ -64,7 +65,13 @@ func (sess *Session) Commit(tx *txn.Txn) bool {
 	sess.Ctx.TouchMeta(3500)
 	sess.Ctx.Flush()
 	sess.S.logLatch.Do(sess.P, 300)
-	tx.Commit(sess.P)
+	durable := tx.Commit(sess.P)
+	if committed && !durable {
+		// The log stopped (or crashed) before the commit record flushed:
+		// the transaction did not commit.
+		sess.setErr(ErrNotDurable, "commit")
+		return false
+	}
 	return committed
 }
 
@@ -85,10 +92,49 @@ func (sess *Session) Abort(tx *txn.Txn) {
 	tx.Abort()
 }
 
-// logRecord accounts log bytes for a modification (row image + header).
-func logRecord(tx *txn.Txn, t *storage.Table) {
-	tx.LogWrite(t.RowWidth() + 96)
+// logRecord registers the log record for a modification (row image +
+// header) with the page it covers and its logical undo payload.
+func logRecord(tx *txn.Txn, t *storage.Table, page wal.PageID, ops []wal.Op) {
+	tx.LogOp(t.RowWidth()+wal.RecHeaderBytes, page, ops)
 }
+
+// dataPage returns the PageID of a table's data page holding nominal row
+// nid.
+func dataPage(t *storage.Table, nid int64) wal.PageID {
+	return wal.PageID{File: t.Data.ID, Page: t.PageOfNominal(nid)}
+}
+
+// RowWriter applies a row mutation and captures its logical undo
+// payload. Update statements hand one to the driver's callback; the
+// driver expresses the modification through Get/Set/Add instead of
+// writing the table directly, which is how write statements register
+// page + undo info on their WAL records.
+type RowWriter struct {
+	t   *storage.Table
+	row int64
+	rec bool // capture ops (crash-recovery bookkeeping armed)
+	ops []wal.Op
+}
+
+// Row returns the actual row ID being modified.
+func (w *RowWriter) Row() int64 { return w.row }
+
+// Get reads a column of the row.
+func (w *RowWriter) Get(col int) int64 { return w.t.Get(w.row, col) }
+
+// Set overwrites a column, recording the pre-image for undo.
+func (w *RowWriter) Set(col int, v int64) {
+	if w.rec {
+		w.ops = append(w.ops, wal.Op{
+			Kind: wal.OpSet, T: w.t, Row: w.row, Col: col,
+			Old: w.t.Get(w.row, col), New: v,
+		})
+	}
+	w.t.Set(w.row, col, v)
+}
+
+// Add increments a column by delta.
+func (w *RowWriter) Add(col int, delta int64) { w.Set(col, w.Get(col)+delta) }
 
 // Read performs an index point read at nominal row nid: S row lock, index
 // probe, base-row fetch for nonclustered indexes. It returns the actual
@@ -127,7 +173,7 @@ func (sess *Session) ReadRange(tx *txn.Txn, ix *access.BTIndex, from btree.Key, 
 
 // Update performs a read-modify-write of one row: U lock converted to X
 // (the conversion-safe discipline), probe for write, mutate via fn, log.
-func (sess *Session) Update(tx *txn.Txn, ix *access.BTIndex, key btree.Key, nid int64, fn func(rowID int64)) bool {
+func (sess *Session) Update(tx *txn.Txn, ix *access.BTIndex, key btree.Key, nid int64, fn func(w *RowWriter)) bool {
 	sess.stmtOverhead()
 	if !tx.Lock(sess.P, lock.Key{Obj: ix.Table.ID, Row: nid}, lock.U) {
 		sess.setErr(ErrVictim, "update")
@@ -142,10 +188,11 @@ func (sess *Session) Update(tx *txn.Txn, ix *access.BTIndex, key btree.Key, nid 
 		return false
 	}
 	access.Heap{T: ix.Table}.ProbePoint(sess.Ctx, nid, true)
+	w := &RowWriter{t: ix.Table, row: rowID, rec: sess.S.Txns.Recording()}
 	if fn != nil {
-		fn(rowID)
+		fn(w)
 	}
-	logRecord(tx, ix.Table)
+	logRecord(tx, ix.Table, dataPage(ix.Table, nid), w.ops)
 	return true
 }
 
@@ -180,14 +227,19 @@ func (sess *Session) Insert(tx *txn.Txn, t *storage.Table, row []int64, indexes 
 		if materialized {
 			ix.InsertActual(t.ActualRows() - 1)
 		}
-		logRecord(tx, t)
+		ixFile, ixPage := ix.MaintPage(nid)
+		logRecord(tx, t, wal.PageID{File: ixFile, Page: ixPage}, nil)
 	}
 	if csi != nil {
 		csi.ChargeDeltaInsert(sess.Ctx)
 		csi.Ix.AppendDelta(row)
 		csi.Ix.CompressDelta()
 	}
-	logRecord(tx, t)
+	var ops []wal.Op
+	if sess.S.Txns.Recording() {
+		ops = []wal.Op{{Kind: wal.OpInsert, T: t}}
+	}
+	logRecord(tx, t, dataPage(t, nid), ops)
 	return nid
 }
 
@@ -209,6 +261,10 @@ func (sess *Session) Delete(tx *txn.Txn, ix *access.BTIndex, key btree.Key, nid 
 	}
 	access.Heap{T: ix.Table}.ProbePoint(sess.Ctx, nid, true)
 	ix.Table.DeleteNominal()
-	logRecord(tx, ix.Table)
+	var ops []wal.Op
+	if sess.S.Txns.Recording() {
+		ops = []wal.Op{{Kind: wal.OpDelete, T: ix.Table}}
+	}
+	logRecord(tx, ix.Table, dataPage(ix.Table, nid), ops)
 	return true
 }

@@ -20,18 +20,18 @@ import (
 // experiment. Unused fields are omitted (JSON) or empty (CSV). The field
 // set is stable: additions append, nothing is renamed.
 type Record struct {
-	Record     string             `json:"record"`               // row type: point, curve_point, table_row, cdf_point, series_point, wait, query_stat, span
-	Experiment string             `json:"experiment"`           // experiment id (fig2cores, table3, qstats, ...)
-	Workload   string             `json:"workload,omitempty"`   // tpch | tpce | asdb | htap
-	SF         int                `json:"sf,omitempty"`         // scale factor
-	Metric     string             `json:"metric,omitempty"`     // what Value measures (throughput, mpki, wait class, ...)
-	Name       string             `json:"name,omitempty"`       // object label (curve name, query template, operator)
-	Knob       string             `json:"knob,omitempty"`       // swept knob (cores, llc_mb, read_limit_mbps, ...)
-	X          float64            `json:"x,omitempty"`          // knob setting / CDF value / series index
-	Value      float64            `json:"value,omitempty"`      // measured value
-	Unit       string             `json:"unit,omitempty"`       // Value's unit (qps, tps, MB/s, ms, ns, frac)
-	Text       string             `json:"text,omitempty"`       // free-form cell payload (table rows)
-	Fields     map[string]float64 `json:"fields,omitempty"`     // named sub-values (query-stat and span details)
+	Record     string             `json:"record"`             // row type: point, curve_point, table_row, cdf_point, series_point, wait, query_stat, span
+	Experiment string             `json:"experiment"`         // experiment id (fig2cores, table3, qstats, ...)
+	Workload   string             `json:"workload,omitempty"` // tpch | tpce | asdb | htap
+	SF         int                `json:"sf,omitempty"`       // scale factor
+	Metric     string             `json:"metric,omitempty"`   // what Value measures (throughput, mpki, wait class, ...)
+	Name       string             `json:"name,omitempty"`     // object label (curve name, query template, operator)
+	Knob       string             `json:"knob,omitempty"`     // swept knob (cores, llc_mb, read_limit_mbps, ...)
+	X          float64            `json:"x,omitempty"`        // knob setting / CDF value / series index
+	Value      float64            `json:"value,omitempty"`    // measured value
+	Unit       string             `json:"unit,omitempty"`     // Value's unit (qps, tps, MB/s, ms, ns, frac)
+	Text       string             `json:"text,omitempty"`     // free-form cell payload (table rows)
+	Fields     map[string]float64 `json:"fields,omitempty"`   // named sub-values (query-stat and span details)
 }
 
 // csvHeader is the fixed CSV column order; Fields flattens into the last

@@ -27,6 +27,7 @@ const (
 	WaitWriteLog                     // log flush (WRITELOG)
 	WaitCPU                          // runnable, waiting for a scheduler
 	WaitIO                           // direct I/O waits outside the buffer pool
+	WaitRecovery                     // crash-recovery work (analysis/redo/undo)
 	NumWaitClasses
 )
 
@@ -49,6 +50,8 @@ func (w WaitClass) String() string {
 		return "SOS_SCHEDULER_YIELD"
 	case WaitIO:
 		return "IO_COMPLETION"
+	case WaitRecovery:
+		return "RECOVERY"
 	default:
 		return fmt.Sprintf("WAIT(%d)", int(w))
 	}
@@ -92,6 +95,18 @@ type Counters struct {
 	QueriesCanceled int64 // queries bailed out at server shutdown
 	CpusetFallbacks int64 // core picks that fell back to core 0 (empty cpuset)
 
+	// Crash-recovery counters (ARIES-style restart).
+	Crashes             int64 // simulated crashes taken
+	Recoveries          int64 // recovery passes completed
+	RecoveryRedoPages   int64 // distinct pages read back during redo
+	RecoveryRedoRecords int64 // durable records scanned in the redo pass
+	RecoveryUndoRecords int64 // loser records undone during undo
+	RecoveryCLRs        int64 // compensation records written by recovery
+	RecoveryElapsedNs   int64 // simulated time spent in recovery passes
+	CommitsNotDurable   int64 // commits that lost durability to stop/crash
+	CrashLostTxns       int64 // in-flight txns wiped by a crash (no durable trace)
+	CrashLostRecords    int64 // appended-but-unflushed records lost at crash
+
 	WaitNs [NumWaitClasses]int64
 }
 
@@ -133,6 +148,17 @@ func (c Counters) Sub(o Counters) Counters {
 		QueriesFailed:   c.QueriesFailed - o.QueriesFailed,
 		QueriesCanceled: c.QueriesCanceled - o.QueriesCanceled,
 		CpusetFallbacks: c.CpusetFallbacks - o.CpusetFallbacks,
+
+		Crashes:             c.Crashes - o.Crashes,
+		Recoveries:          c.Recoveries - o.Recoveries,
+		RecoveryRedoPages:   c.RecoveryRedoPages - o.RecoveryRedoPages,
+		RecoveryRedoRecords: c.RecoveryRedoRecords - o.RecoveryRedoRecords,
+		RecoveryUndoRecords: c.RecoveryUndoRecords - o.RecoveryUndoRecords,
+		RecoveryCLRs:        c.RecoveryCLRs - o.RecoveryCLRs,
+		RecoveryElapsedNs:   c.RecoveryElapsedNs - o.RecoveryElapsedNs,
+		CommitsNotDurable:   c.CommitsNotDurable - o.CommitsNotDurable,
+		CrashLostTxns:       c.CrashLostTxns - o.CrashLostTxns,
+		CrashLostRecords:    c.CrashLostRecords - o.CrashLostRecords,
 	}
 	for i := range d.WaitNs {
 		d.WaitNs[i] = c.WaitNs[i] - o.WaitNs[i]

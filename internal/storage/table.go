@@ -173,3 +173,11 @@ func (t *Table) DeleteNominal() {
 		t.liveNominal--
 	}
 }
+
+// UndeleteNominal reverses a DeleteNominal: the ghost row is revived.
+// Used by transaction rollback and crash recovery to undo deletes.
+func (t *Table) UndeleteNominal() {
+	if t.liveNominal < t.nominalRows {
+		t.liveNominal++
+	}
+}

@@ -11,10 +11,17 @@
 package wal
 
 import (
+	"errors"
+
 	"repro/internal/iodev"
 	"repro/internal/metrics"
 	"repro/internal/sim"
 )
+
+// ErrNotDurable is returned by Commit/WaitDurable when the log stops (or
+// crashes) before the caller's records reach the device: the transaction
+// is not durable and must be treated as aborted.
+var ErrNotDurable = errors.New("wal: log stopped before commit record flushed")
 
 // Log is a write-ahead log bound to one device.
 type Log struct {
@@ -25,8 +32,26 @@ type Log struct {
 	// MaxFlushBytes caps one flush I/O (the 60 KB log-block limit).
 	MaxFlushBytes int64
 
+	// Recording retains typed logical records (records.go) for crash
+	// recovery. Off by default: baseline runs keep the pure byte-count
+	// behaviour and allocate nothing per record.
+	Recording bool
+
+	// MidFlushHook, when set, runs between the device write and the
+	// flushedLSN advance — the seeded crash point that loses an
+	// acknowledged-by-device-but-not-yet-visible flush batch.
+	MidFlushHook func()
+
+	// AppendGapHook, when set, runs after a commit lump is appended but
+	// before its flush wait — the seeded crash point where records exist
+	// in the log buffer only.
+	AppendGapHook func()
+
 	appendedLSN int64 // bytes appended
 	flushedLSN  int64 // bytes durably written
+
+	records []*Record // simulated log image (Recording only)
+	opSeq   int64     // global logical-op sequence
 
 	writerIdle sim.WaitQueue // log writer parks here when nothing to do
 	commitQ    sim.WaitQueue // committers park here until flushedLSN advances
@@ -34,6 +59,7 @@ type Log struct {
 	flushPenaltyNs float64 // fault-injected extra latency per flush
 
 	stopped bool
+	crashed bool
 }
 
 // New creates a log writing to dev.
@@ -57,6 +83,14 @@ func (l *Log) Start() {
 			if l.flushPenaltyNs > 0 {
 				p.Sleep(sim.Duration(l.flushPenaltyNs))
 			}
+			if l.MidFlushHook != nil {
+				l.MidFlushHook()
+				if l.crashed {
+					// The crash landed between the device write and the
+					// LSN advance: the batch is lost.
+					return
+				}
+			}
 			l.flushedLSN += batch
 			l.commitQ.WakeAll(l.sm)
 		}
@@ -73,10 +107,13 @@ func (l *Log) SetFlushPenalty(ns float64) {
 	l.flushPenaltyNs = ns
 }
 
-// Stop makes the log writer exit at its next wakeup.
+// Stop makes the log writer exit at its next wakeup and wakes parked
+// committers so they can observe the shutdown (their commits resolve as
+// ErrNotDurable instead of hanging forever).
 func (l *Log) Stop() {
 	l.stopped = true
 	l.writerIdle.WakeAll(l.sm)
+	l.commitQ.WakeAll(l.sm)
 }
 
 // Append adds bytes of log records and returns the record's LSN.
@@ -89,9 +126,18 @@ func (l *Log) Append(bytes int64) int64 {
 }
 
 // Commit appends the commit record and blocks p until the log is durable
-// past it, recording the wait as WRITELOG. It returns the wait duration.
-func (l *Log) Commit(p *sim.Proc, lastBytes int64) sim.Duration {
+// past it, recording the wait as WRITELOG. It returns the wait duration
+// and ErrNotDurable when the log stopped before the flush reached the
+// commit record.
+func (l *Log) Commit(p *sim.Proc, lastBytes int64) (sim.Duration, error) {
 	lsn := l.Append(lastBytes + 96) // commit record overhead
+	return l.WaitDurable(p, lsn)
+}
+
+// WaitDurable blocks p until the log is durable past lsn, charging the
+// wait as WRITELOG. It returns ErrNotDurable when the log stopped (or
+// crashed) first.
+func (l *Log) WaitDurable(p *sim.Proc, lsn int64) (sim.Duration, error) {
 	start := p.Now()
 	for l.flushedLSN < lsn && !l.stopped {
 		l.writerIdle.WakeAll(l.sm)
@@ -99,7 +145,10 @@ func (l *Log) Commit(p *sim.Proc, lastBytes int64) sim.Duration {
 	}
 	wait := sim.Duration(p.Now() - start)
 	metrics.ChargeWait(p, l.ctr, metrics.WaitWriteLog, wait)
-	return wait
+	if l.flushedLSN < lsn {
+		return wait, ErrNotDurable
+	}
+	return wait, nil
 }
 
 // FlushedLSN returns the durable LSN.

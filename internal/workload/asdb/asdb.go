@@ -183,8 +183,8 @@ func (c *client) update() bool {
 	tx := c.sess.Begin()
 	nid := c.zBig.Next(c.g)
 	t := c.d.Big
-	c.sess.Update(tx, c.d.PKBig, c.key(t, nid), nid, func(rowID int64) {
-		t.Set(rowID, 1, t.Get(rowID, 1)+1)
+	c.sess.Update(tx, c.d.PKBig, c.key(t, nid), nid, func(w *engine.RowWriter) {
+		w.Add(1, 1)
 	})
 	return c.sess.Commit(tx)
 }

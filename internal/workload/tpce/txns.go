@@ -63,8 +63,8 @@ func (u *user) tradeOrder() bool {
 
 	// Holding-summary position for this account: hot on small SFs.
 	hsNid := ca * 2
-	u.sess.Update(tx, d.PKHoldSum, u.hsKey(hsNid), hsNid, func(rowID int64) {
-		d.HoldingSummary.Set(rowID, 2, d.HoldingSummary.Get(rowID, 2)+100)
+	u.sess.Update(tx, d.PKHoldSum, u.hsKey(hsNid), hsNid, func(w *engine.RowWriter) {
+		w.Add(2, 100)
 	})
 
 	price := d.LastTrade.Get(symb%d.LastTrade.ActualRows(), 1)
@@ -98,19 +98,19 @@ func (u *user) tradeResult() bool {
 
 	// Table-order locking: account(2) -> broker(3) -> last_trade(6) ->
 	// trade(9) -> inserts into higher tables.
-	u.sess.Update(tx, d.PKAccount, key1(ca), ca, func(rowID int64) {
-		d.Account.Set(rowID, 3, d.Account.Get(rowID, 3)+100)
+	u.sess.Update(tx, d.PKAccount, key1(ca), ca, func(w *engine.RowWriter) {
+		w.Add(3, 100)
 	})
 	broker := d.Account.Get(ca%d.Account.ActualRows(), 2)
-	u.sess.Update(tx, d.PKBroker, key1(broker), broker, func(rowID int64) {
-		d.Broker.Set(rowID, 2, d.Broker.Get(rowID, 2)+1)
-		d.Broker.Set(rowID, 3, d.Broker.Get(rowID, 3)+50)
+	u.sess.Update(tx, d.PKBroker, key1(broker), broker, func(w *engine.RowWriter) {
+		w.Add(2, 1)
+		w.Add(3, 50)
 	})
-	u.sess.Update(tx, d.PKLastTrade, key1(symb), symb, func(rowID int64) {
-		d.LastTrade.Set(rowID, 2, d.LastTrade.Get(rowID, 2)+100)
+	u.sess.Update(tx, d.PKLastTrade, key1(symb), symb, func(w *engine.RowWriter) {
+		w.Add(2, 100)
 	})
-	u.sess.Update(tx, d.PKTrade, u.tradeKey(tid), tid, func(rowID int64) {
-		d.Trade.Set(rowID, 2, 2) // completed
+	u.sess.Update(tx, d.PKTrade, u.tradeKey(tid), tid, func(w *engine.RowWriter) {
+		w.Set(2, 2) // completed
 	})
 	u.sess.Insert(tx, d.TradeHistory, []int64{tid, tid, 1},
 		[]*access.BTIndex{d.DB.Index("pk_trade_history")}, nil)
@@ -143,12 +143,12 @@ func (u *user) matchHolding(tx *txn.Txn, ca, symb int64) {
 			}
 			htid := d.Holding.Get(rowID, 0)
 			nid := htid % d.Holding.NominalRows()
-			u.sess.Update(tx, d.DB.Index("pk_holding"), btree.Key{htid}, nid, func(r int64) {
-				qty := d.Holding.Get(r, 4) - 100
+			u.sess.Update(tx, d.DB.Index("pk_holding"), btree.Key{htid}, nid, func(w *engine.RowWriter) {
+				qty := w.Get(4) - 100
 				if qty < 0 {
 					qty = 0
 				}
-				d.Holding.Set(r, 4, qty)
+				w.Set(4, qty)
 			})
 			return
 		}
@@ -308,9 +308,9 @@ func (u *user) marketFeed() bool {
 			continue
 		}
 		prev = sm
-		ok := u.sess.Update(tx, d.PKLastTrade, key1(sm), sm, func(rowID int64) {
-			d.LastTrade.Set(rowID, 1, d.LastTrade.Get(rowID, 1)+u.g.Int64n(21)-10)
-			d.LastTrade.Set(rowID, 2, d.LastTrade.Get(rowID, 2)+100)
+		ok := u.sess.Update(tx, d.PKLastTrade, key1(sm), sm, func(w *engine.RowWriter) {
+			w.Add(1, u.g.Int64n(21)-10)
+			w.Add(2, 100)
 		})
 		if !ok {
 			return false // victim: already aborted
