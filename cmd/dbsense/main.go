@@ -46,6 +46,7 @@ var (
 	emitFmt  = flag.String("emit", "", "also write structured records: json (JSONL) or csv")
 	emitOut  = flag.String("o", "", "structured-output path (default dbsense-out.jsonl or .csv)")
 	traceQ   = flag.Int("trace", 14, "TPC-H query number for the trace experiment")
+	rowExec  = flag.Bool("rowexec", false, "force row-at-a-time execution (default: vectorized batches)")
 )
 
 // em is the structured-record emitter (nil when -emit is unset; all
@@ -59,6 +60,7 @@ func opts() harness.Options {
 	o.Warmup = sim.DurationOf(*warmup)
 	o.Seed = *seed
 	o.Parallel = *parallel
+	o.RowExec = *rowExec
 	if *progress {
 		o.Progress = printProgress
 	}

@@ -59,6 +59,70 @@ func (c *CSI) ChargeSegmentScan(ctx *Ctx, colPos, seg int, preds int) int64 {
 	return nominalRows
 }
 
+// SegScanCursor charges one column segment's scan incrementally, batch
+// by batch, totalling exactly one ChargeSegmentScan: buffer-pool pages
+// are charged proportionally to the rows consumed (deduplicated at batch
+// boundaries), per-row CPU and metadata touches accrue per batch, and
+// the segment's sequential LLC touch is issued once at Close (the cache
+// model samples coarse streaming touches; see ScanCursor).
+type SegScanCursor struct {
+	c        *CSI
+	preds    int
+	segRows  int64 // actual rows in the segment
+	k        int64 // nominal rows per actual row
+	bytes    int64 // compressed nominal bytes
+	pages    int64
+	off      int64 // first page of the segment in the index file
+	nextPage int64 // next uncharged page, relative to off
+}
+
+// NewSegScanCursor starts an incremental charge of one column segment.
+func (c *CSI) NewSegScanCursor(colPos, seg, preds int) *SegScanCursor {
+	if c.segsSeen != c.Ix.Segments() {
+		c.layout()
+	}
+	s := c.Ix.Segment(colPos, seg)
+	bytes := c.Ix.SegmentNominalBytes(colPos, seg)
+	return &SegScanCursor{
+		c:       c,
+		preds:   preds,
+		segRows: int64(s.N),
+		k:       c.Ix.Table.K,
+		bytes:   bytes,
+		pages:   (bytes + storage.PageBytes - 1) / storage.PageBytes,
+		off:     c.segPageOff[colPos][seg],
+	}
+}
+
+// ChargeRows charges actual segment rows [lo, hi), which must advance
+// monotonically across calls.
+func (sc *SegScanCursor) ChargeRows(ctx *Ctx, lo, hi int) {
+	if hi <= lo || sc.segRows == 0 {
+		return
+	}
+	// Pages covering the segment's byte range up to row hi.
+	endByte := sc.bytes * int64(hi) / sc.segRows
+	endPage := (endByte + storage.PageBytes - 1) / storage.PageBytes
+	if int64(hi) >= sc.segRows || endPage > sc.pages {
+		endPage = sc.pages
+	}
+	if endPage > sc.nextPage {
+		ctx.BP.Scan(ctx.P, sc.c.Ix.File, sc.off+sc.nextPage, endPage-sc.nextPage, 64)
+		sc.nextPage = endPage
+	}
+	nominalRows := int64(hi-lo) * sc.k
+	ctx.TouchMeta(float64(nominalRows) * 0.5)
+	ctx.CPU(float64(nominalRows) * (ctx.Cost.ColScanIPR + float64(sc.preds)*ctx.Cost.PredIPR*0.25))
+}
+
+// Close issues the segment's sequential LLC touch.
+func (sc *SegScanCursor) Close(ctx *Ctx) {
+	if sc.nextPage == 0 {
+		return
+	}
+	ctx.TouchSeq(sc.c.Ix.File.PageAddr(sc.off), sc.nextPage*storage.PageBytes, false, 8)
+}
+
 // ChargeDeltaScan charges scanning the delta store (uncompressed
 // row-store pages at the tail of the index file).
 func (c *CSI) ChargeDeltaScan(ctx *Ctx) int64 {

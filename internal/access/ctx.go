@@ -30,7 +30,7 @@ type CostModel struct {
 	WorkerStartNs float64 // parallel worker startup cost
 	RowOverheadNs float64 // per-row-operation fixed latch hold
 	TupleBytes    int64   // in-memory tuple overhead for hash/sort sizing
-	BatchRows     int64   // rows per execution batch
+	BatchRows     int64   // actual rows per column batch in the vectorized executor
 
 	// Per-statement and per-transaction fixed engine overheads: protocol
 	// handling, parse/bind against the plan cache, execution-context
@@ -74,7 +74,7 @@ func DefaultCost() *CostModel {
 		WorkerStartNs:   250_000,
 		RowOverheadNs:   400,
 		TupleBytes:      24,
-		BatchRows:       4096,
+		BatchRows:       1024,
 		StmtInstr:       90_000,
 		StmtStallNs:     45_000,
 		TxnInstr:        140_000,

@@ -29,6 +29,61 @@ func (h Heap) ChargeScan(ctx *Ctx, fromNominal, count int64, preds int) {
 	ctx.CPU(float64(count) * (ctx.Cost.RowScanIPR + float64(preds)*ctx.Cost.PredIPR))
 }
 
+// ScanCursor charges a heap scan incrementally, batch by batch, while
+// keeping the total charge equal to one ChargeScan over the same range:
+// buffer-pool pages are deduplicated across batches, per-row CPU and
+// metadata touches accrue per batch, and the sequential LLC touch is
+// issued once over the full range at Close. (The cache model samples
+// coarse streaming touches — see internal/cache — so splitting the LLC
+// touch per batch would multiply the simulated line work, not refine it.)
+type ScanCursor struct {
+	h        Heap
+	preds    int
+	started  bool
+	basePage int64 // first page of the charged range
+	nextPage int64 // first page not yet charged to the buffer pool
+}
+
+// NewScanCursor starts an incremental scan charge.
+func (h Heap) NewScanCursor(preds int) *ScanCursor {
+	return &ScanCursor{h: h, preds: preds}
+}
+
+// ChargeRows charges nominal rows [fromNominal, fromNominal+count), which
+// must advance monotonically across calls.
+func (sc *ScanCursor) ChargeRows(ctx *Ctx, fromNominal, count int64) {
+	if count <= 0 {
+		return
+	}
+	t := sc.h.T
+	firstPage := t.PageOfNominal(fromNominal)
+	lastPage := t.PageOfNominal(fromNominal + count - 1)
+	if !sc.started {
+		sc.started = true
+		sc.basePage = firstPage
+		sc.nextPage = firstPage
+	}
+	if firstPage < sc.nextPage {
+		firstPage = sc.nextPage
+	}
+	if lastPage >= firstPage {
+		ctx.BP.Scan(ctx.P, t.Data, firstPage, lastPage-firstPage+1, 64)
+		sc.nextPage = lastPage + 1
+	}
+	ctx.TouchMeta(float64(count))
+	ctx.CPU(float64(count) * (ctx.Cost.RowScanIPR + float64(sc.preds)*ctx.Cost.PredIPR))
+}
+
+// Close issues the sequential LLC touch over everything charged so far.
+func (sc *ScanCursor) Close(ctx *Ctx) {
+	if !sc.started {
+		return
+	}
+	t := sc.h.T
+	nPages := sc.nextPage - sc.basePage
+	ctx.TouchSeq(t.Data.PageAddr(sc.basePage), nPages*storage.PageBytes, false, 8)
+}
+
 // ProbePoint charges a single-row access at nominal row nid: one page
 // probe with latch semantics plus a couple of line touches.
 func (h Heap) ProbePoint(ctx *Ctx, nid int64, write bool) {

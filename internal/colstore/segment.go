@@ -106,6 +106,38 @@ func unpackInts(packed []uint64, n int, min int64, width uint, dst []int64) []in
 	return dst
 }
 
+// unpackIntsRange unpacks logical rows [lo,hi) without decoding the
+// prefix: the bit cursor starts at lo*width.
+func unpackIntsRange(packed []uint64, lo, hi int, min int64, width uint, dst []int64) []int64 {
+	n := hi - lo
+	if cap(dst) < n {
+		dst = make([]int64, n)
+	}
+	dst = dst[:n]
+	if width == 0 {
+		for i := range dst {
+			dst[i] = min
+		}
+		return dst
+	}
+	mask := uint64(1)<<width - 1
+	if width == 64 {
+		mask = ^uint64(0)
+	}
+	bitPos := uint(lo) * width
+	for i := 0; i < n; i++ {
+		w := bitPos / 64
+		off := bitPos % 64
+		u := packed[w] >> off
+		if off+width > 64 {
+			u |= packed[w+1] << (64 - off)
+		}
+		dst[i] = min + int64(u&mask)
+		bitPos += width
+	}
+	return dst
+}
+
 func widthFor(span uint64) uint {
 	if span == 0 {
 		return 0
@@ -218,6 +250,65 @@ func (s *Segment) Decode(dst []int64) []int64 {
 		return dst
 	default:
 		return unpackInts(s.packed, s.N, s.MinVal, s.bitWidth, dst)
+	}
+}
+
+// DecodeRange decompresses rows [lo,hi) into dst (reusing capacity) and
+// returns the value slice — the batch-at-a-time decode path, equal to
+// Decode(nil)[lo:hi] for every encoding.
+func (s *Segment) DecodeRange(lo, hi int, dst []int64) []int64 {
+	if lo < 0 {
+		lo = 0
+	}
+	if hi > s.N {
+		hi = s.N
+	}
+	if hi <= lo {
+		return dst[:0]
+	}
+	n := hi - lo
+	switch s.Enc {
+	case EncRLE:
+		if cap(dst) < n {
+			dst = make([]int64, n)
+		}
+		dst = dst[:n]
+		pos := 0 // logical row at the start of the current run
+		out := 0
+		for i, v := range s.runVals {
+			runEnd := pos + int(s.runCounts[i])
+			if runEnd > lo {
+				from := pos
+				if from < lo {
+					from = lo
+				}
+				to := runEnd
+				if to > hi {
+					to = hi
+				}
+				for r := from; r < to; r++ {
+					dst[out] = v
+					out++
+				}
+				if to == hi {
+					break
+				}
+			}
+			pos = runEnd
+		}
+		return dst
+	case EncDict:
+		codes := unpackIntsRange(s.packed, lo, hi, 0, s.bitWidth, nil)
+		if cap(dst) < n {
+			dst = make([]int64, n)
+		}
+		dst = dst[:n]
+		for i, c := range codes {
+			dst[i] = s.dict[c]
+		}
+		return dst
+	default:
+		return unpackIntsRange(s.packed, lo, hi, s.MinVal, s.bitWidth, dst)
 	}
 }
 

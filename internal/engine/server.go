@@ -51,6 +51,11 @@ type Config struct {
 	// Off (the default) costs nothing; QueryResult.Trace is then nil.
 	Trace bool
 
+	// RowExec forces row-at-a-time execution. The default (false) runs
+	// the vectorized batch executor; results are row-identical, and
+	// charges move to per-batch granularity (see EXPERIMENTS.md).
+	RowExec bool
+
 	Cost *access.CostModel
 }
 
@@ -503,6 +508,7 @@ func (s *Server) RunQuery(p *sim.Proc, q *opt.LNode, maxdopHint int, grantPct fl
 		MetaBase:   s.metaBase,
 		Home:       s.PickCore(),
 		Deadline:   deadline,
+		Vectorized: !s.Cfg.RowExec,
 	}
 	if s.Cfg.Trace {
 		env.Trace = trace.New(label, stmt)

@@ -22,7 +22,16 @@ type groupEnt struct {
 	seen  bool
 }
 
-// encodeKey builds a map key from group columns.
+// maxInlineGroupCols is the widest group-by the fixed-width array key
+// covers; wider keys fall back to the byte-string encoding.
+const maxInlineGroupCols = 4
+
+// inlineKey is a fixed-width group key: group column values padded with
+// zeros. Comparable, so it indexes a map without allocating per row.
+type inlineKey [maxInlineGroupCols]int64
+
+// encodeKey builds a map key from group columns (the fallback for
+// group-bys wider than maxInlineGroupCols; allocates per call).
 func encodeKey(r Row, groups []int) string {
 	b := make([]byte, 0, len(groups)*8)
 	for _, c := range groups {
@@ -31,6 +40,121 @@ func encodeKey(r Row, groups []int) string {
 			byte(v>>32), byte(v>>40), byte(v>>48), byte(v>>56))
 	}
 	return string(b)
+}
+
+// aggTable is a group hash table keeping entries in insertion order.
+// Narrow group-bys use a fixed-width array key, so looking up an
+// existing group allocates nothing.
+type aggTable struct {
+	groups []int
+	aggs   []AggSpec
+	inline map[inlineKey]int32
+	wide   map[string]int32
+	ents   []*groupEnt
+}
+
+func newAggTable(groups []int, aggs []AggSpec) *aggTable {
+	t := &aggTable{groups: groups, aggs: aggs}
+	if len(groups) <= maxInlineGroupCols {
+		t.inline = make(map[inlineKey]int32)
+	} else {
+		t.wide = make(map[string]int32)
+	}
+	return t
+}
+
+// len is nil-safe: a partition skipped by the deadline leaves a nil table.
+func (t *aggTable) len() int {
+	if t == nil {
+		return 0
+	}
+	return len(t.ents)
+}
+
+// entRow returns row r's group entry, creating it on first sight.
+func (t *aggTable) entRow(r Row) *groupEnt {
+	if t.inline != nil {
+		var k inlineKey
+		for i, c := range t.groups {
+			k[i] = r[c]
+		}
+		if ix, ok := t.inline[k]; ok {
+			return t.ents[ix]
+		}
+		g := &groupEnt{key: project(r, t.groups), state: newAggState(t.aggs)}
+		t.inline[k] = int32(len(t.ents))
+		t.ents = append(t.ents, g)
+		return g
+	}
+	k := encodeKey(r, t.groups)
+	if ix, ok := t.wide[k]; ok {
+		return t.ents[ix]
+	}
+	g := &groupEnt{key: project(r, t.groups), state: newAggState(t.aggs)}
+	t.wide[k] = int32(len(t.ents))
+	t.ents = append(t.ents, g)
+	return g
+}
+
+// entCols is the columnar twin of entRow: group values come from
+// cols[groups[i]][phys].
+func (t *aggTable) entCols(cols [][]int64, phys int32) *groupEnt {
+	if t.inline != nil {
+		var k inlineKey
+		for i, c := range t.groups {
+			k[i] = cols[c][phys]
+		}
+		if ix, ok := t.inline[k]; ok {
+			return t.ents[ix]
+		}
+		key := make(Row, len(t.groups))
+		for i, c := range t.groups {
+			key[i] = cols[c][phys]
+		}
+		g := &groupEnt{key: key, state: newAggState(t.aggs)}
+		t.inline[k] = int32(len(t.ents))
+		t.ents = append(t.ents, g)
+		return g
+	}
+	key := make(Row, len(t.groups))
+	for i, c := range t.groups {
+		key[i] = cols[c][phys]
+	}
+	return t.adopt(&groupEnt{key: key, state: newAggState(t.aggs)})
+}
+
+// adopt folds g (whose key is an already-projected group row) into the
+// table: absorbed into an existing entry, or inserted as-is. Returns the
+// table's entry for g's key.
+func (t *aggTable) adopt(g *groupEnt) *groupEnt {
+	if t.inline != nil {
+		var k inlineKey
+		copy(k[:], g.key)
+		if ix, ok := t.inline[k]; ok {
+			d := t.ents[ix]
+			mergeState(d.state, g.state, t.aggs)
+			return d
+		}
+		t.inline[k] = int32(len(t.ents))
+		t.ents = append(t.ents, g)
+		return g
+	}
+	k := encodeKey(g.key, seqInts(len(g.key)))
+	if ix, ok := t.wide[k]; ok {
+		d := t.ents[ix]
+		mergeState(d.state, g.state, t.aggs)
+		return d
+	}
+	t.wide[k] = int32(len(t.ents))
+	t.ents = append(t.ents, g)
+	return g
+}
+
+// adoptAll merges a partition-local table into t.
+func (t *aggTable) adoptAll(src *aggTable) {
+	for _, g := range src.ents {
+		t.adopt(g)
+	}
 }
 
 func newAggState(aggs []AggSpec) []int64 {
@@ -70,6 +194,31 @@ func accumulate(st []int64, aggs []AggSpec, r Row, weight int64) {
 			}
 		case AggAvg:
 			st[i] += r[a.Col] * weight
+			st[i+1] += weight
+		}
+		i += aggWidth(a.Kind)
+	}
+}
+
+// accumulateCols is the columnar twin of accumulate.
+func accumulateCols(st []int64, aggs []AggSpec, cols [][]int64, phys int32, weight int64) {
+	i := 0
+	for _, a := range aggs {
+		switch a.Kind {
+		case AggSum:
+			st[i] += cols[a.Col][phys] * weight
+		case AggCount:
+			st[i] += weight
+		case AggMin:
+			if v := cols[a.Col][phys]; v < st[i] {
+				st[i] = v
+			}
+		case AggMax:
+			if v := cols[a.Col][phys]; v > st[i] {
+				st[i] = v
+			}
+		case AggAvg:
+			st[i] += cols[a.Col][phys] * weight
 			st[i+1] += weight
 		}
 		i += aggWidth(a.Kind)
@@ -125,13 +274,42 @@ func finalize(key Row, st []int64, aggs []AggSpec) Row {
 	return out
 }
 
+// finalizeAggTables merges partition-local tables, emits finalized
+// groups in deterministic (sorted) group order, and handles the scalar
+// aggregate over an empty input (one zero row). Shared by the row and
+// batch hash-aggregate paths.
+func finalizeAggTables(partials []*aggTable, groups []int, aggs []AggSpec) []Row {
+	merged := newAggTable(groups, aggs)
+	for _, t := range partials {
+		if t != nil {
+			merged.adoptAll(t)
+		}
+	}
+	if len(groups) == 0 && merged.len() == 0 {
+		return []Row{finalize(nil, newAggState(aggs), aggs)}
+	}
+	out := make([]Row, 0, merged.len())
+	for _, g := range merged.ents {
+		out = append(out, finalize(g.key, g.state, aggs))
+	}
+	ng := len(groups)
+	sort.Slice(out, func(i, j int) bool {
+		for c := 0; c < ng; c++ {
+			if out[i][c] != out[j][c] {
+				return out[i][c] < out[j][c]
+			}
+		}
+		return false
+	})
+	return out
+}
+
 // runHashAgg aggregates the child's output. Parallel stages compute
 // partition-local partial aggregates; the coordinator merges and emits
 // groups in deterministic (sorted) group order. Aggregate inputs are
 // weighted by the child's nominal weight so SUM/COUNT reflect nominal
 // cardinalities.
-func runHashAgg(p *sim.Proc, env *Env, n *Node, st *QueryStats) []Row {
-	in := runNode(p, env, n.Left, st)
+func runHashAgg(p *sim.Proc, env *Env, n *Node, st *QueryStats, in []Row) []Row {
 	parts := stageDop(env, n)
 	weight := n.Left.Weight
 	if weight < 1 {
@@ -139,36 +317,30 @@ func runHashAgg(p *sim.Proc, env *Env, n *Node, st *QueryStats) []Row {
 	}
 
 	inParts := partitionRows(in, n.Groups, parts)
-	partials := make([]map[string]*groupEnt, parts)
+	partials := make([]*aggTable, parts)
 	env.parallel(p, parts, func(ctx *access.Ctx, part int) {
-		m := make(map[string]*groupEnt)
+		at := newAggTable(n.Groups, n.Aggs)
 		rows := inParts[part]
 		for _, r := range rows {
-			k := encodeKey(r, n.Groups)
-			g := m[k]
-			if g == nil {
-				g = &groupEnt{key: project(r, n.Groups), state: newAggState(n.Aggs)}
-				m[k] = g
-			}
-			accumulate(g.state, n.Aggs, r, weight)
+			accumulate(at.entRow(r).state, n.Aggs, r, weight)
 		}
 		w := int64(len(rows)) * weight
 		ctx.CPU(float64(w) * ctx.Cost.AggIPR)
 		// The group table's nominal footprint: groups are dimension-level
 		// entities, so their nominal count scales with the group count,
 		// not the input weight.
-		groupBytes := int64(len(m)) * tupleBytes(env, n.Left)
+		groupBytes := int64(at.len()) * tupleBytes(env, n.Left)
 		if groupBytes > 0 {
 			region := env.M.ReserveRegion(groupBytes)
 			ctx.TouchRandom(region, groupBytes, w, true, 4)
 		}
-		partials[part] = m
+		partials[part] = at
 	})
 
 	// Grant accounting on the merged table.
 	var totalGroups int64
-	for _, m := range partials {
-		totalGroups += int64(len(m))
+	for _, at := range partials {
+		totalGroups += int64(at.len())
 	}
 	needBytes := totalGroups * tupleBytes(env, n.Left)
 	overflow := env.Grant.Reserve(needBytes)
@@ -178,36 +350,8 @@ func runHashAgg(p *sim.Proc, env *Env, n *Node, st *QueryStats) []Row {
 	}
 
 	ctx := env.newCtx(p, env.home())
-	merged := make(map[string]*groupEnt)
-	for _, m := range partials {
-		for k, g := range m {
-			d := merged[k]
-			if d == nil {
-				merged[k] = g
-			} else {
-				mergeState(d.state, g.state, n.Aggs)
-			}
-		}
-	}
+	out := finalizeAggTables(partials, n.Groups, n.Aggs)
 	ctx.CPU(float64(totalGroups) * ctx.Cost.AggIPR)
 	ctx.Flush()
-
-	if len(n.Groups) == 0 && len(merged) == 0 {
-		// Scalar aggregate over empty input: one zero row.
-		return []Row{finalize(nil, newAggState(n.Aggs), n.Aggs)}
-	}
-	out := make([]Row, 0, len(merged))
-	for _, g := range merged {
-		out = append(out, finalize(g.key, g.state, n.Aggs))
-	}
-	ng := len(n.Groups)
-	sort.Slice(out, func(i, j int) bool {
-		for c := 0; c < ng; c++ {
-			if out[i][c] != out[j][c] {
-				return out[i][c] < out[j][c]
-			}
-		}
-		return false
-	})
 	return out
 }

@@ -1,0 +1,113 @@
+package exec
+
+import (
+	"runtime"
+	"testing"
+	"time"
+
+	"repro/internal/sim"
+	"repro/internal/storage"
+)
+
+// benchTable builds an (okey, ckey, amount) table with `rows` actual
+// rows at K=5, large enough that executor per-row work dominates setup.
+func benchTable(te *testEnv, rows int64) *storage.Table {
+	sch := storage.NewSchema("bench_orders",
+		storage.Column{Name: "okey", Type: storage.TInt, Width: 8},
+		storage.Column{Name: "ckey", Type: storage.TInt, Width: 8},
+		storage.Column{Name: "amount", Type: storage.TInt, Width: 8},
+	)
+	t := storage.NewTable(1, sch, 5)
+	for i := int64(0); i < rows; i++ {
+		t.AppendLoad([]int64{i, i % 97, (i * 13) % 1000})
+	}
+	t.Data.Region = te.env.M.ReserveRegion(t.NominalDataBytes())
+	te.env.BP.Register(t.Data)
+	return t
+}
+
+// benchPlan is the headline scan→filter→hash-agg shape: the pattern the
+// vectorized engine is built for.
+func benchPlan(tab *storage.Table) *Node {
+	return &Node{
+		Kind: KHashAgg,
+		Left: scanNode(tab, []int{1, 2}, func(r Row) bool { return r[1] < 400 }, 1, true),
+		Groups: []int{0},
+		Aggs:   []AggSpec{{Kind: AggSum, Col: 1}, {Kind: AggCount}},
+		Weight: tab.K, Parallel: true,
+	}
+}
+
+const benchRows = 20_000
+
+// runBench executes the plan once and returns the simulated elapsed
+// time, which is deterministic across runs and machines.
+func runBench(te *testEnv, root *Node) (simNs float64, outRows int) {
+	var rows []Row
+	var done, start = te.sm.Now(), te.sm.Now()
+	te.sm.Spawn("q", func(p *sim.Proc) {
+		rows, _ = Run(p, te.env, root)
+		done = te.sm.Now()
+	})
+	te.sm.Run(start + sim.Time(3600*sim.Second))
+	return float64(done - start), len(rows)
+}
+
+// BenchmarkExecEngines compares row-at-a-time and batch execution on the
+// same plan. ns/op and B/op are wall-clock (machine-dependent); sim_ms
+// is the simulated query latency and is fully deterministic.
+func BenchmarkExecEngines(b *testing.B) {
+	for _, eng := range []struct {
+		name string
+		vec  bool
+	}{{"row", false}, {"vec", true}} {
+		b.Run(eng.name, func(b *testing.B) {
+			b.ReportAllocs()
+			var simMs float64
+			for i := 0; i < b.N; i++ {
+				b.StopTimer()
+				te := newTestEnv(4)
+				te.env.Vectorized = eng.vec
+				root := benchPlan(benchTable(te, benchRows))
+				b.StartTimer()
+				ns, n := runBench(te, root)
+				if n == 0 {
+					b.Fatal("no output rows")
+				}
+				simMs = ns / 1e6
+			}
+			b.ReportMetric(simMs, "sim_ms")
+		})
+	}
+}
+
+// BenchmarkVectorizedSpeedup reports the headline trajectory metrics:
+// alloc_reduction_x (deterministic, gated in CI) and vec_speedup_wall
+// (wall-clock, informational only).
+func BenchmarkVectorizedSpeedup(b *testing.B) {
+	measure := func(vec bool) (wallNs float64, allocs uint64) {
+		te := newTestEnv(4)
+		te.env.Vectorized = vec
+		root := benchPlan(benchTable(te, benchRows))
+		var before, after runtime.MemStats
+		runtime.GC()
+		runtime.ReadMemStats(&before)
+		t0 := time.Now()
+		if _, n := runBench(te, root); n == 0 {
+			b.Fatal("no output rows")
+		}
+		wallNs = float64(time.Since(t0))
+		runtime.ReadMemStats(&after)
+		return wallNs, after.Mallocs - before.Mallocs
+	}
+	var speedup, allocRatio float64
+	for i := 0; i < b.N; i++ {
+		rowWall, rowAllocs := measure(false)
+		vecWall, vecAllocs := measure(true)
+		speedup = rowWall / vecWall
+		allocRatio = float64(rowAllocs) / float64(vecAllocs)
+	}
+	b.ReportMetric(speedup, "vec_speedup_wall")
+	b.ReportMetric(allocRatio, "alloc_reduction_x")
+	b.ReportMetric(0, "ns/op") // the per-engine times are what matter
+}

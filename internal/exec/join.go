@@ -46,10 +46,7 @@ func (jt *joinTable) insert(r Row, keys []int) {
 // over the build (left) side, and probes with the right side. Exceeding
 // the memory grant spills partitions to tempdb (charged as write+read of
 // the spilled nominal bytes).
-func runHashJoin(p *sim.Proc, env *Env, n *Node, st *QueryStats) []Row {
-	build := runNode(p, env, n.Left, st)
-	probe := runNode(p, env, n.Right, st)
-
+func runHashJoin(p *sim.Proc, env *Env, n *Node, st *QueryStats, build, probe []Row) []Row {
 	rowBytes := tupleBytes(env, n.Left)
 	needBytes := int64(len(build)) * n.Left.Weight * rowBytes
 	overflow := env.Grant.Reserve(needBytes)
@@ -184,8 +181,7 @@ func spill(p *sim.Proc, env *Env, n *Node, st *QueryStats, buildBytes, probeByte
 
 // runNLIndexJoin probes the inner index once per outer row; matches fetch
 // the inner base row. Parallel plans partition the outer rows.
-func runNLIndexJoin(p *sim.Proc, env *Env, n *Node, st *QueryStats) []Row {
-	outer := runNode(p, env, n.Left, st)
+func runNLIndexJoin(p *sim.Proc, env *Env, n *Node, st *QueryStats, outer []Row) []Row {
 	ix := n.Index
 	t := ix.Table
 	heap := access.Heap{T: t}

@@ -13,10 +13,7 @@ import (
 // cares about: the sorts spill independently and the merge itself needs
 // no workspace, so the optimizer prefers it when the build side far
 // exceeds the grant.
-func runMergeJoin(p *sim.Proc, env *Env, n *Node, st *QueryStats) []Row {
-	left := runNode(p, env, n.Left, st)
-	right := runNode(p, env, n.Right, st)
-
+func runMergeJoin(p *sim.Proc, env *Env, n *Node, st *QueryStats, left, right []Row) []Row {
 	sortSide := func(rows []Row, keys []int, weight int64, rowBytes int64) {
 		needBytes := int64(len(rows)) * weight * rowBytes
 		overflow := env.Grant.Reserve(needBytes)
@@ -108,35 +105,16 @@ func colsEqual(a Row, ak []int, b Row, bk []int) bool {
 	return true
 }
 
-// mergeSortedBy merges sorted chunks by arbitrary columns.
+// mergeSortedBy merges sorted chunks by arbitrary columns with the
+// shared k-way heap merge; equal keys resolve to the lower chunk index.
 func mergeSortedBy(chunks [][]Row, cols []int) []Row {
-	idx := make([]int, len(chunks))
-	total := 0
-	for _, c := range chunks {
-		total += len(c)
-	}
-	out := make([]Row, 0, total)
-	for len(out) < total {
-		best := -1
-		for i, c := range chunks {
-			if idx[i] >= len(c) {
-				continue
-			}
-			if best < 0 || lessByCols(c[idx[i]], chunks[best][idx[best]], cols) {
-				best = i
-			}
-		}
-		out = append(out, chunks[best][idx[best]])
-		idx[best]++
-	}
-	return out
+	return kwayMerge(chunks, func(a, b Row) bool { return lessByCols(a, b, cols) })
 }
 
 // runStreamAgg aggregates input that it first sorts by the group columns,
 // then folds sequentially — constant workspace beyond the sort, the
 // operator SQL Server picks when a hash table would not fit the grant.
-func runStreamAgg(p *sim.Proc, env *Env, n *Node, st *QueryStats) []Row {
-	in := runNode(p, env, n.Left, st)
+func runStreamAgg(p *sim.Proc, env *Env, n *Node, st *QueryStats, in []Row) []Row {
 	weight := n.Left.Weight
 	if weight < 1 {
 		weight = 1
@@ -157,13 +135,14 @@ func runStreamAgg(p *sim.Proc, env *Env, n *Node, st *QueryStats) []Row {
 	var out []Row
 	var curKey Row
 	var state []int64
+	keyCols := seqInts(len(n.Groups))
 	flush := func() {
 		if curKey != nil {
 			out = append(out, finalize(curKey, state, n.Aggs))
 		}
 	}
 	for _, r := range in {
-		if curKey == nil || !colsEqual(r, n.Groups, curKey, seqInts(len(n.Groups))) {
+		if curKey == nil || !colsEqual(r, n.Groups, curKey, keyCols) {
 			flush()
 			curKey = project(r, n.Groups)
 			state = newAggState(n.Aggs)

@@ -10,9 +10,16 @@ import (
 
 // Run executes a physical plan and returns its result rows and stats.
 // It blocks the calling proc (the session) until the query completes.
+// Env.Vectorized selects the batch engine; both engines produce
+// row-identical results.
 func Run(p *sim.Proc, env *Env, root *Node) ([]Row, QueryStats) {
 	st := QueryStats{GrantBytes: grantBytes(env.Grant)}
-	rows := runNode(p, env, root, &st)
+	var rows []Row
+	if env.Vectorized {
+		rows = batchesToRows(runNodeVec(p, env, root, &st))
+	} else {
+		rows = runNode(p, env, root, &st)
+	}
 	st.OutRows = len(rows)
 	st.UsedBytes = env.Grant.Used()
 	// Collect failures: the coordinator's own sticky error plus anything
@@ -63,19 +70,28 @@ func execNode(p *sim.Proc, env *Env, n *Node, st *QueryStats) []Row {
 	case KColScan:
 		return runColScan(p, env, n)
 	case KHashJoin:
-		return runHashJoin(p, env, n, st)
+		build := runNode(p, env, n.Left, st)
+		probe := runNode(p, env, n.Right, st)
+		return runHashJoin(p, env, n, st, build, probe)
 	case KNLIndexJoin:
-		return runNLIndexJoin(p, env, n, st)
+		outer := runNode(p, env, n.Left, st)
+		return runNLIndexJoin(p, env, n, st, outer)
 	case KMergeJoin:
-		return runMergeJoin(p, env, n, st)
+		left := runNode(p, env, n.Left, st)
+		right := runNode(p, env, n.Right, st)
+		return runMergeJoin(p, env, n, st, left, right)
 	case KHashAgg:
-		return runHashAgg(p, env, n, st)
+		in := runNode(p, env, n.Left, st)
+		return runHashAgg(p, env, n, st, in)
 	case KStreamAgg:
-		return runStreamAgg(p, env, n, st)
+		in := runNode(p, env, n.Left, st)
+		return runStreamAgg(p, env, n, st, in)
 	case KSort:
-		return runSort(p, env, n, st)
+		in := runNode(p, env, n.Left, st)
+		return runSort(p, env, n, st, in)
 	case KTop:
-		return runTop(p, env, n, st)
+		in := runNode(p, env, n.Left, st)
+		return runTop(p, env, n, st, in)
 	case KFilter:
 		in := runNode(p, env, n.Left, st)
 		return runFilter(p, env, n, in)

@@ -1,6 +1,7 @@
 package exec
 
 import (
+	"container/heap"
 	"math"
 	"sort"
 
@@ -25,8 +26,7 @@ func lessByKeys(a, b Row, keys []SortKey) bool {
 // runSort sorts the child's output. Parallel stages sort chunks; the
 // coordinator merges. Input larger than the grant spills sort runs to
 // tempdb.
-func runSort(p *sim.Proc, env *Env, n *Node, st *QueryStats) []Row {
-	in := runNode(p, env, n.Left, st)
+func runSort(p *sim.Proc, env *Env, n *Node, st *QueryStats, in []Row) []Row {
 	weight := n.Left.Weight
 	if weight < 1 {
 		weight = 1
@@ -63,34 +63,162 @@ func runSort(p *sim.Proc, env *Env, n *Node, st *QueryStats) []Row {
 	return out
 }
 
+// mergeSorted merges per-chunk sorted runs with a k-way heap merge.
+// Ties across chunks break toward the lower chunk index, which is the
+// order a stable serial sort of the concatenated input produces (chunks
+// are contiguous input slices).
 func mergeSorted(chunks [][]Row, keys []SortKey) []Row {
-	// Simple k-way merge by repeated selection (k is small = DOP).
-	idx := make([]int, len(chunks))
-	total := 0
-	for _, c := range chunks {
-		total += len(c)
+	return kwayMerge(chunks, func(a, b Row) bool { return lessByKeys(a, b, keys) })
+}
+
+// mergeHead is one chunk's read position inside the merge heap.
+type mergeHead struct {
+	chunk int
+	pos   int
+}
+
+// mergeHeap is a container/heap k-way merge state over sorted chunks:
+// the root is the smallest head element, with equal keys resolved by the
+// lower chunk index so the merge is deterministic for any DOP.
+type mergeHeap[T any] struct {
+	heads  []mergeHead
+	chunks [][]T
+	less   func(a, b T) bool
+}
+
+func (h *mergeHeap[T]) Len() int { return len(h.heads) }
+
+func (h *mergeHeap[T]) Less(i, j int) bool {
+	a, b := h.heads[i], h.heads[j]
+	av, bv := h.chunks[a.chunk][a.pos], h.chunks[b.chunk][b.pos]
+	if h.less(av, bv) {
+		return true
 	}
-	out := make([]Row, 0, total)
-	for len(out) < total {
-		best := -1
-		for i, c := range chunks {
-			if idx[i] >= len(c) {
-				continue
-			}
-			if best < 0 || lessByKeys(c[idx[i]], chunks[best][idx[best]], keys) {
-				best = i
-			}
+	if h.less(bv, av) {
+		return false
+	}
+	return a.chunk < b.chunk
+}
+
+func (h *mergeHeap[T]) Swap(i, j int) { h.heads[i], h.heads[j] = h.heads[j], h.heads[i] }
+
+func (h *mergeHeap[T]) Push(x any) { h.heads = append(h.heads, x.(mergeHead)) }
+
+func (h *mergeHeap[T]) Pop() any {
+	old := h.heads
+	x := old[len(old)-1]
+	h.heads = old[:len(old)-1]
+	return x
+}
+
+// kwayMerge merges k sorted chunks in O(n log k). A single non-empty
+// chunk is returned as-is (the serial fast path).
+func kwayMerge[T any](chunks [][]T, less func(a, b T) bool) []T {
+	total, nonEmpty, last := 0, 0, -1
+	for i, c := range chunks {
+		total += len(c)
+		if len(c) > 0 {
+			nonEmpty++
+			last = i
 		}
-		out = append(out, chunks[best][idx[best]])
-		idx[best]++
+	}
+	if nonEmpty == 0 {
+		return make([]T, 0)
+	}
+	if nonEmpty == 1 {
+		return chunks[last]
+	}
+	h := &mergeHeap[T]{chunks: chunks, less: less}
+	for i, c := range chunks {
+		if len(c) > 0 {
+			h.heads = append(h.heads, mergeHead{chunk: i})
+		}
+	}
+	heap.Init(h)
+	out := make([]T, 0, total)
+	for h.Len() > 0 {
+		hd := h.heads[0]
+		out = append(out, chunks[hd.chunk][hd.pos])
+		hd.pos++
+		if hd.pos < len(chunks[hd.chunk]) {
+			h.heads[0] = hd
+			heap.Fix(h, 0)
+		} else {
+			heap.Pop(h)
+		}
 	}
 	return out
 }
 
-// runTop returns the first Limit rows by sort key, using selection
-// against a bounded heap (cheaper than a full sort).
-func runTop(p *sim.Proc, env *Env, n *Node, st *QueryStats) []Row {
-	in := runNode(p, env, n.Left, st)
+// topHeap is a bounded max-heap of candidate indices under a total
+// order: the root is the worst retained candidate, so a better incoming
+// element replaces it in O(log limit).
+type topHeap struct {
+	idx    []int32
+	before func(i, j int32) bool
+}
+
+func (h *topHeap) Len() int           { return len(h.idx) }
+func (h *topHeap) Less(i, j int) bool { return h.before(h.idx[j], h.idx[i]) }
+func (h *topHeap) Swap(i, j int)      { h.idx[i], h.idx[j] = h.idx[j], h.idx[i] }
+func (h *topHeap) Push(x any)         { h.idx = append(h.idx, x.(int32)) }
+func (h *topHeap) Pop() any {
+	old := h.idx
+	x := old[len(old)-1]
+	h.idx = old[:len(old)-1]
+	return x
+}
+
+// topKIdx returns the indices of the limit smallest of n elements under
+// less, ties broken toward the lower index (the stable order), sorted
+// ascending. limit >= n degenerates to a full index sort; the bounded
+// branch does O(n log limit) comparisons, matching the Top operator's
+// charged cost.
+func topKIdx(n, limit int, less func(i, j int32) bool) []int32 {
+	if limit > n {
+		limit = n
+	}
+	if limit <= 0 {
+		return nil
+	}
+	before := func(i, j int32) bool {
+		if less(i, j) {
+			return true
+		}
+		if less(j, i) {
+			return false
+		}
+		return i < j
+	}
+	var idx []int32
+	if limit == n {
+		idx = make([]int32, n)
+		for i := range idx {
+			idx[i] = int32(i)
+		}
+	} else {
+		h := &topHeap{idx: make([]int32, 0, limit), before: before}
+		for i := 0; i < limit; i++ {
+			h.idx = append(h.idx, int32(i))
+		}
+		heap.Init(h)
+		for i := limit; i < n; i++ {
+			if before(int32(i), h.idx[0]) {
+				h.idx[0] = int32(i)
+				heap.Fix(h, 0)
+			}
+		}
+		idx = h.idx
+	}
+	sort.Slice(idx, func(a, b int) bool { return before(idx[a], idx[b]) })
+	return idx
+}
+
+// runTop returns the first Limit rows of the input's stable order by the
+// sort keys, selected against a bounded heap (O(n log limit), cheaper
+// than a full sort) so the executed work matches the charged cost
+// w·SortIPR·log2(limit+2).
+func runTop(p *sim.Proc, env *Env, n *Node, st *QueryStats, in []Row) []Row {
 	weight := n.Left.Weight
 	if weight < 1 {
 		weight = 1
@@ -98,17 +226,15 @@ func runTop(p *sim.Proc, env *Env, n *Node, st *QueryStats) []Row {
 	ctx := env.newCtx(p, env.home())
 	limit := n.Limit
 	if limit <= 0 || limit > len(in) {
-		if len(n.Keys) > 0 {
-			sort.SliceStable(in, func(i, j int) bool { return lessByKeys(in[i], in[j], n.Keys) })
-		}
-		if limit <= 0 || limit > len(in) {
-			limit = len(in)
-		}
-	} else {
-		sort.SliceStable(in, func(i, j int) bool { return lessByKeys(in[i], in[j], n.Keys) })
+		limit = len(in)
+	}
+	idx := topKIdx(len(in), limit, func(i, j int32) bool { return lessByKeys(in[i], in[j], n.Keys) })
+	out := make([]Row, len(idx))
+	for i, ix := range idx {
+		out[i] = in[ix]
 	}
 	w := float64(int64(len(in)) * weight)
 	ctx.CPU(w * ctx.Cost.SortIPR * math.Log2(float64(limit)+2))
 	ctx.Flush()
-	return in[:limit]
+	return out
 }

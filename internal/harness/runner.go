@@ -58,6 +58,10 @@ type Options struct {
 	// Progress, when non-nil, receives per-point completion updates
 	// during sweeps.
 	Progress Progress
+
+	// RowExec forces row-at-a-time execution for every point (the
+	// default is the vectorized batch executor; engine.Config.RowExec).
+	RowExec bool
 }
 
 // DefaultOptions returns bench-scale settings.
@@ -121,6 +125,7 @@ func newServer(opt Options, k Knobs) *engine.Server {
 	cfg.StmtTimeout = k.StmtTimeout
 	cfg.Retry = k.Retry
 	cfg.Trace = k.Trace
+	cfg.RowExec = opt.RowExec
 	srv := engine.NewServer(cfg)
 	if k.Cores > 0 {
 		srv.CPUs.AllowN(k.Cores)

@@ -26,6 +26,7 @@ type Span struct {
 	EstRows  float64 // optimizer's nominal output-cardinality estimate
 	ActRows  int64   // actual rows emitted
 	NomRows  int64   // nominal rows represented (ActRows * Weight)
+	Batches  int64   // column batches emitted (vectorized engine; 0 under row execution)
 
 	Start, End sim.Time
 
@@ -151,6 +152,9 @@ func renderSpan(b *strings.Builder, s *Span, depth int) {
 		fmt.Fprintf(b, " [%s]", s.Name)
 	}
 	fmt.Fprintf(b, " (est %.3g rows, act %d rows, %.3fms", s.EstRows, s.ActRows, s.Elapsed().Seconds()*1e3)
+	if s.Batches > 0 {
+		fmt.Fprintf(b, ", %d batches", s.Batches)
+	}
 	if s.BufferHits > 0 || s.BufferMisses > 0 {
 		fmt.Fprintf(b, ", buf %d/%d hit", s.BufferHits, s.BufferHits+s.BufferMisses)
 	}
