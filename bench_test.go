@@ -12,6 +12,7 @@ import (
 	"testing"
 
 	"repro/internal/harness"
+	"repro/internal/repl"
 	"repro/internal/sim"
 	"repro/internal/workload/tpch"
 )
@@ -237,6 +238,41 @@ func BenchmarkFig8(b *testing.B) {
 		}
 		b.ReportMetric(float64(degraded), "queries_hurt_at_2pct")
 		b.ReportMetric(q18, "q18_speedup_at_2pct")
+	}
+}
+
+// BenchmarkReplication runs the commit-mode replication sweep and
+// reports the per-mode commit acknowledgement latency. The metrics are
+// simulated time (deterministic at a fixed seed), so the trajectory
+// gates on genuine commit-path changes, not runner noise.
+func BenchmarkReplication(b *testing.B) {
+	opt := benchOpts()
+	for i := 0; i < b.N; i++ {
+		res := harness.Replication(1, opt, nil, []float64{200}, []int{1})
+		if err := res.Err(); err != nil {
+			b.Fatal(err)
+		}
+		for _, p := range res.Points {
+			if p.Mode == repl.ModeAsync {
+				continue // async never waits; its ack latency is identically 0
+			}
+			b.ReportMetric(p.CommitAckMs, fmt.Sprintf("commit_%s_sim_ms", p.Mode))
+		}
+	}
+}
+
+// BenchmarkFailover crashes a replicated primary, promotes a standby,
+// and reports the simulated RTO and point-in-time-restore time.
+func BenchmarkFailover(b *testing.B) {
+	opt := benchOpts()
+	for i := 0; i < b.N; i++ {
+		res := harness.Failover(1, opt, []repl.Mode{repl.ModeQuorum})
+		if err := res.Err(); err != nil {
+			b.Fatal(err)
+		}
+		c := res.Cells[0]
+		b.ReportMetric(c.Failover.RTO.Seconds()*1e3, "rto_sim_ms")
+		b.ReportMetric(c.PITR.Elapsed.Seconds()*1e3, "pitr_sim_ms")
 	}
 }
 

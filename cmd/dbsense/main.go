@@ -6,12 +6,19 @@
 //	dbsense [flags] <experiment>
 //
 // Experiments: table2, fig2cores, fig2llc, table3, table4, fig3, fig4,
-// fig5, fig5write, fig6, fig7, fig8, trace, qstats, all. With -faults,
-// the resilience experiment sweeps a fault-intensity axis and reports
-// throughput retention, and the recovery experiment crashes the engine at
-// seeded points, restarts it ARIES-style, and reports MTTR versus
-// checkpoint interval and storage bandwidth plus a verified crash matrix
-// (see EXPERIMENTS.md, "Resilience experiments" and "Crash recovery").
+// fig5, fig5write, fig6, fig7, fig8, trace, qstats, replication, all.
+// With -faults, the resilience experiment sweeps a fault-intensity axis
+// and reports throughput retention, the recovery experiment crashes the
+// engine at seeded points, restarts it ARIES-style, and reports MTTR
+// versus checkpoint interval and storage bandwidth plus a verified crash
+// matrix, and the failover experiment crashes a replicated primary,
+// promotes the most caught-up standby, and verifies a point-in-time
+// restore from the WAL archive (see EXPERIMENTS.md, "Resilience
+// experiments", "Crash recovery", and "Replication & failover").
+//
+// Unknown experiment names and unknown -emit / -workload values are
+// usage errors, rejected before any side effect (no output file is
+// created, no sweep starts).
 //
 // With -emit json|csv, every result is also written as structured
 // records (JSONL or fixed-column CSV) to the -o path, byte-identical
@@ -93,14 +100,60 @@ func sfsFor(w harness.Workload) []int {
 	return harness.PaperSFs(w)
 }
 
+// experiments is the canonical list of experiment names, in "all" order
+// where applicable. The fault-gated ones (resilience, recovery,
+// failover) and the replication sweep are not part of "all".
+var experiments = []string{
+	"table2", "fig2cores", "fig2llc", "table3", "table4", "fig3", "fig4",
+	"fig5", "fig5write", "fig6", "fig7", "fig8", "trace", "qstats",
+	"replication", "resilience", "recovery", "failover", "all",
+}
+
+func knownExperiment(name string) bool {
+	for _, e := range experiments {
+		if e == name {
+			return true
+		}
+	}
+	return false
+}
+
+func usage() {
+	list := ""
+	for i, e := range experiments {
+		if i > 0 {
+			list += "|"
+		}
+		list += e
+	}
+	fmt.Fprintf(os.Stderr, "usage: dbsense [flags] <%s>\n", list)
+	os.Exit(2)
+}
+
 func main() {
 	flag.Parse()
 	if flag.NArg() != 1 {
-		fmt.Fprintln(os.Stderr, "usage: dbsense [flags] <table2|fig2cores|fig2llc|table3|table4|fig3|fig4|fig5|fig5write|fig6|fig7|fig8|trace|qstats|resilience|recovery|all>")
-		os.Exit(2)
+		usage()
 	}
 	exp := flag.Arg(0)
-	if (exp == "resilience" || exp == "recovery") && !*faults {
+	// Validate everything before any side effect: an unknown experiment
+	// or -emit/-workload value must not create the output file or start
+	// the default sweep.
+	if !knownExperiment(exp) {
+		fmt.Fprintf(os.Stderr, "unknown experiment %q\n", exp)
+		usage()
+	}
+	if *emitFmt != "" && *emitFmt != "json" && *emitFmt != "csv" {
+		fmt.Fprintf(os.Stderr, "unknown -emit format %q (want json or csv)\n", *emitFmt)
+		os.Exit(2)
+	}
+	switch *workload {
+	case "", "tpch", "tpce", "asdb", "htap":
+	default:
+		fmt.Fprintf(os.Stderr, "unknown -workload %q (want tpch, tpce, asdb, or htap)\n", *workload)
+		os.Exit(2)
+	}
+	if (exp == "resilience" || exp == "recovery" || exp == "failover") && !*faults {
 		fmt.Fprintf(os.Stderr, "the %s experiment requires -faults\n", exp)
 		os.Exit(2)
 	}
@@ -377,6 +430,72 @@ func run(exp string) {
 			})
 		}
 		if err := m.Err(); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+	case "replication":
+		sf := 2000
+		var bandwidths []float64
+		var replicas []int
+		if *quick {
+			sf = 1000
+			bandwidths = []float64{200}
+			replicas = []int{1}
+		}
+		res := harness.Replication(sf, o, nil, bandwidths, replicas)
+		fmt.Print(res.String())
+		for _, p := range res.Points {
+			em.Emit(harness.Record{
+				Record: "point", Experiment: "replication", Workload: "asdb", SF: sf,
+				Name: fmt.Sprintf("%s-r%d", p.Mode, p.Replicas),
+				Knob: "bandwidth_mbps", X: p.BandwidthMBps,
+				Text: p.Err,
+				Fields: map[string]float64{
+					"replicas":      float64(p.Replicas),
+					"tps":           p.TPS,
+					"commit_ack_ms": p.CommitAckMs,
+					"max_lag_kb":    p.MaxLagKB,
+					"shipped_mb":    p.ShippedMB,
+					"applied_txns":  float64(p.AppliedTxns),
+					"unacked":       float64(p.Unacked),
+				},
+			})
+		}
+		if err := res.Err(); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+	case "failover":
+		sf := 2000
+		if *quick {
+			sf = 1000
+		}
+		res := harness.Failover(sf, o, nil)
+		fmt.Print(res.String())
+		for _, c := range res.Cells {
+			em.Emit(harness.Record{
+				Record: "point", Experiment: "failover", Workload: "asdb", SF: sf,
+				Name: c.Mode.String(), Knob: "replicas", X: float64(c.Replicas),
+				Text: c.Err,
+				Fields: map[string]float64{
+					"commits":         float64(c.Commits),
+					"rto_ms":          c.Failover.RTO.Seconds() * 1e3,
+					"promoted":        float64(c.Failover.Promoted),
+					"primary_lsn":     float64(c.Failover.PrimaryLSN),
+					"promoted_lsn":    float64(c.Failover.PromotedLSN),
+					"acked":           float64(c.Failover.AckedCommits),
+					"lost_acked":      float64(c.Failover.LostAckedCommits),
+					"lost_commits":    float64(c.Failover.LostCommits),
+					"pitr_target_lsn": float64(c.PITR.TargetLSN),
+					"pitr_landed_lsn": float64(c.PITR.LandedLSN),
+					"pitr_segments":   float64(c.PITR.Segments),
+					"pitr_records":    float64(c.PITR.Records),
+					"pitr_txns":       float64(c.PITR.Txns),
+					"pitr_ms":         c.PITR.Elapsed.Seconds() * 1e3,
+				},
+			})
+		}
+		if err := res.Err(); err != nil {
 			fmt.Fprintln(os.Stderr, err)
 			os.Exit(1)
 		}

@@ -423,7 +423,12 @@ func (s *Server) CheckRecoveryInvariants() error {
 // StateDigest hashes the full logical database image (cell values and
 // row accounting); equal digests across repeated recoveries demonstrate
 // idempotence.
-func (s *Server) StateDigest() uint64 {
+func (s *Server) StateDigest() uint64 { return DigestDB(s.DB) }
+
+// DigestDB hashes a database's logical image independent of any server —
+// replication compares a primary's digest against a standby's, and PITR
+// compares a restored image against the pre-crash one.
+func DigestDB(db *Database) uint64 {
 	h := fnv.New64a()
 	var buf [8]byte
 	w := func(v int64) {
@@ -433,7 +438,7 @@ func (s *Server) StateDigest() uint64 {
 		}
 		h.Write(buf[:])
 	}
-	for _, t := range s.DB.Tables {
+	for _, t := range db.Tables {
 		w(int64(t.ID))
 		w(t.NominalRows())
 		w(t.LiveNominalRows())

@@ -56,6 +56,15 @@ type Config struct {
 	// charges move to per-batch granularity (see EXPERIMENTS.md).
 	RowExec bool
 
+	// ReplMode selects the replication commit mode when this server is
+	// the primary of a repl.Cluster: "" or "async" (commit returns after
+	// local group commit), "sync" (wait for every standby's WAL-durable
+	// ack), or "quorum" (wait for ReplQuorum acks). The engine itself
+	// only stores these; internal/repl reads them when wiring a cluster,
+	// so a server with no cluster behaves identically regardless.
+	ReplMode   string
+	ReplQuorum int
+
 	Cost *access.CostModel
 }
 
@@ -122,7 +131,15 @@ type Server struct {
 // NewServer builds a server and its background services.
 func NewServer(cfg Config) *Server {
 	cfg = cfg.withDefaults()
-	sm := sim.New(cfg.Seed)
+	return NewServerOn(sim.New(cfg.Seed), cfg)
+}
+
+// NewServerOn builds a server inside an existing simulation — how a
+// replication cluster places several machines (primary + standbys) on
+// one sim clock. Each server still gets its own device, buffer pool,
+// log, and lock space; only the clock and event loop are shared.
+func NewServerOn(sm *sim.Sim, cfg Config) *Server {
+	cfg = cfg.withDefaults()
 	ctr := &metrics.Counters{}
 	m := hw.New(sm, cfg.Machine, ctr)
 	dev := iodev.New(cfg.SSD, ctr)

@@ -216,9 +216,18 @@ func (sess *Session) Insert(tx *txn.Txn, t *storage.Table, row []int64, indexes 
 	nid := t.InsertNominal(row)
 	if !tx.Lock(sess.P, lock.Key{Obj: t.ID, Row: nid}, lock.X) {
 		// Victim mid-insert: the nominal append stands (a ghost row),
-		// as after a rolled-back insert awaiting cleanup.
+		// as after a rolled-back insert awaiting cleanup. The abort ran
+		// inside the lock wait, before this op could be registered, so
+		// the ghost is attached to the abort record's residue after the
+		// fact — replicas must reproduce it.
 		sess.setErr(ErrVictim, "insert")
 		t.DeleteNominal()
+		if sess.S.Txns.Recording() {
+			tx.AddAbortResidue(wal.Op{
+				Kind: wal.OpInsert, T: t, Row: t.ActualRows() - 1,
+				Img: append([]int64(nil), row...), Materialized: t.ActualRows() > before,
+			})
+		}
 		return -1
 	}
 	materialized := t.ActualRows() > before
@@ -237,7 +246,10 @@ func (sess *Session) Insert(tx *txn.Txn, t *storage.Table, row []int64, indexes 
 	}
 	var ops []wal.Op
 	if sess.S.Txns.Recording() {
-		ops = []wal.Op{{Kind: wal.OpInsert, T: t}}
+		ops = []wal.Op{{
+			Kind: wal.OpInsert, T: t, Row: t.ActualRows() - 1,
+			Img: append([]int64(nil), row...), Materialized: materialized, Indexed: true,
+		}}
 	}
 	logRecord(tx, t, dataPage(t, nid), ops)
 	return nid

@@ -50,6 +50,11 @@ type Config struct {
 	BufferSpike  Axis // Magnitude: fraction of buffer capacity stolen (0..1)
 	GrantStarve  Axis // Magnitude: fraction of workspace reserved away (0..1)
 	CpusetShrink Axis // Magnitude: fraction of allowed cores removed (0..1)
+
+	// Replication axes (need Targets.Repl).
+	ReplLinkStall Axis // link down while active (Magnitude unused)
+	ReplicaSlow   Axis // Magnitude: extra ns per replica WAL flush while active
+	ArchiveLoss   Axis // Magnitude: archive segments destroyed per event
 }
 
 // DefaultConfig returns the standard fault mix used by the resilience
@@ -74,7 +79,8 @@ func (c Config) Enabled() bool {
 	if c.Intensity <= 0 {
 		return false
 	}
-	for _, ax := range []Axis{c.IOStall, c.IOError, c.WALSlow, c.BufferSpike, c.GrantStarve, c.CpusetShrink} {
+	for _, ax := range []Axis{c.IOStall, c.IOError, c.WALSlow, c.BufferSpike, c.GrantStarve, c.CpusetShrink,
+		c.ReplLinkStall, c.ReplicaSlow, c.ArchiveLoss} {
 		if ax.Rate > 0 {
 			return true
 		}
@@ -93,6 +99,22 @@ type GrantTarget interface {
 	SetFaultReserve(bytes int64)
 }
 
+// ReplTarget is the slice of a replication cluster the repl axes need
+// (an interface for the same import-cycle reason as GrantTarget:
+// internal/repl imports this package's config types via the harness).
+type ReplTarget interface {
+	// SetLinkDown partitions (true) or heals (false) every replication
+	// link; shippers park while down and commit-mode acks stop arriving.
+	SetLinkDown(down bool)
+	// SetReplicaFlushPenalty charges extra ns to every standby WAL flush
+	// (0 clears it) — the slow-replica degradation mode.
+	SetReplicaFlushPenalty(ns float64)
+	// DropOldestArchiveSegment destroys one archived WAL segment,
+	// reporting whether one existed — the archive-loss axis PITR must
+	// detect as a gap.
+	DropOldestArchiveSegment() bool
+}
+
 // Targets are the subsystems the injector acts on. Nil targets disable
 // the corresponding axes.
 type Targets struct {
@@ -101,6 +123,7 @@ type Targets struct {
 	BP     *buffer.Pool
 	CPUs   *cgroup.CPUSet
 	Grants GrantTarget
+	Repl   ReplTarget
 	Ctr    *metrics.Counters
 }
 
@@ -112,9 +135,12 @@ type Injector struct {
 
 	// One forked stream per axis, plus one for the device fault state's
 	// per-request draws. Forked unconditionally in a fixed order so that
-	// enabling or tuning one axis never shifts another's stream.
+	// enabling or tuning one axis never shifts another's stream. The
+	// replication axes fork after devRNG (they arrived later; forking
+	// them earlier would shift every pre-existing stream).
 	axisRNG [6]*sim.RNG
 	devRNG  *sim.RNG
+	replRNG [3]*sim.RNG
 
 	stopped bool
 }
@@ -127,6 +153,9 @@ func New(sm *sim.Sim, cfg Config, t Targets) *Injector {
 		in.axisRNG[i] = root.Fork()
 	}
 	in.devRNG = root.Fork()
+	for i := range in.replRNG {
+		in.replRNG[i] = root.Fork()
+	}
 	return in
 }
 
@@ -177,6 +206,32 @@ func (in *Injector) Start() {
 				in.t.Grants.SetFaultReserve(int64(frac * float64(in.t.Grants.WorkspaceBytes())))
 			},
 			func() { in.t.Grants.SetFaultReserve(0) })
+	}
+	if in.t.Repl != nil {
+		in.axis("repl-link-stall", in.cfg.ReplLinkStall, in.replRNG[0],
+			func() {
+				in.t.Ctr.ReplLinkStalls++
+				in.t.Repl.SetLinkDown(true)
+			},
+			func() { in.t.Repl.SetLinkDown(false) })
+		penalty := in.cfg.ReplicaSlow.Magnitude
+		in.axis("replica-slow", in.cfg.ReplicaSlow, in.replRNG[1],
+			func() { in.t.Repl.SetReplicaFlushPenalty(penalty) },
+			func() { in.t.Repl.SetReplicaFlushPenalty(0) })
+		drop := int(in.cfg.ArchiveLoss.Magnitude)
+		if drop < 1 {
+			drop = 1
+		}
+		in.axis("archive-loss", in.cfg.ArchiveLoss, in.replRNG[2],
+			func() {
+				for i := 0; i < drop; i++ {
+					if !in.t.Repl.DropOldestArchiveSegment() {
+						break
+					}
+					in.t.Ctr.ArchiveSegmentsLost++
+				}
+			},
+			func() {})
 	}
 	if in.t.CPUs != nil {
 		keep := 1 - clampFrac(in.cfg.CpusetShrink.Magnitude)

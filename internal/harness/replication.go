@@ -1,0 +1,416 @@
+package harness
+
+import (
+	"fmt"
+
+	"repro/internal/engine"
+	"repro/internal/fault"
+	"repro/internal/metrics"
+	"repro/internal/repl"
+	"repro/internal/sim"
+	"repro/internal/workload/asdb"
+	"repro/internal/workload/htap"
+	"repro/internal/workload/tpce"
+)
+
+// ReplModes is the default commit-mode axis of the replication sweep.
+var ReplModes = []repl.Mode{repl.ModeAsync, repl.ModeQuorum, repl.ModeSync}
+
+// ReplReplicaCounts is the default replica-count axis.
+var ReplReplicaCounts = []int{1, 2}
+
+// buildReplicated boots a replicated ASDB topology: a primary armed for
+// typed-record logging (the replication stream) with rcfg.Replicas
+// standby machines on the same sim clock. The storage knobs apply to
+// every node — the paper's bandwidth throttle hits the replica WAL
+// devices the commit modes wait on, not just the primary. Fault
+// injection is wired here rather than in newServer so the replication
+// axes can target the cluster.
+func buildReplicated(sf int, opt Options, k Knobs, rcfg repl.Config, ro engine.RecoveryOptions) (*engine.Server, *repl.Cluster, *asdb.Dataset) {
+	density := opt.Density / 20
+	if density < 2 {
+		density = 2
+	}
+	acfg := asdb.Config{SF: sf, ActualRowsPerSF: density, Seed: opt.Seed}
+	d := asdb.Build(acfg)
+	kk := k
+	kk.Faults = nil // wired below, with the cluster as a target
+	srv := newServer(opt, kk)
+	srv.AttachDB(d.DB)
+	srv.WarmBufferPool()
+	srv.ArmRecovery(ro)
+	rcfg.NewImage = func() *engine.Database { return asdb.Build(acfg).DB }
+	cl := repl.New(srv, rcfg)
+	for _, s := range cl.Standbys {
+		if k.ReadLimitMBps > 0 {
+			s.Srv.BlkIO.SetReadLimit(k.ReadLimitMBps)
+		}
+		if k.WriteLimitMBps > 0 {
+			s.Srv.BlkIO.SetWriteLimit(k.WriteLimitMBps)
+		}
+	}
+	if k.Faults != nil && k.Faults.Enabled() {
+		inj := fault.New(srv.Sim, *k.Faults, fault.Targets{
+			Dev: srv.Dev, Log: srv.Log, BP: srv.BP, CPUs: srv.CPUs,
+			Grants: srv, Repl: cl, Ctr: srv.Ctr,
+		})
+		inj.Start()
+		srv.AddStopHook(inj.Stop)
+	}
+	srv.Start()
+	cl.Start()
+	return srv, cl, d
+}
+
+// quiesceAndCheck drains the replication pipeline after the drivers have
+// exited cleanly (every transaction ended: committed durable or aborted
+// and undone) and compares primary and standby state digests.
+func quiesceAndCheck(srv *engine.Server, cl *repl.Cluster, from sim.Time) (bool, string) {
+	deadline := from + sim.Time(600*sim.Second)
+	for t := from; t < deadline && !cl.Quiesced(); t += sim.Time(sim.Second) {
+		srv.Sim.Run(t + sim.Time(sim.Second))
+	}
+	quiesced := cl.Quiesced()
+	errStr := ""
+	if !quiesced {
+		errStr = "replication pipeline did not quiesce"
+	} else if err := cl.CheckDigests(); err != nil {
+		errStr = err.Error()
+	}
+	return quiesced, errStr
+}
+
+// ReplicationPoint is one (commit mode, storage bandwidth, replica
+// count) cell of the replication sweep.
+type ReplicationPoint struct {
+	Mode          repl.Mode
+	Replicas      int
+	BandwidthMBps float64
+
+	TPS         float64
+	CommitAckMs float64 // mean sync/quorum ack wait per commit
+	MaxLagKB    float64 // worst sampled replica lag
+	ShippedMB   float64
+	AppliedTxns int64
+	Unacked     int64 // commits durable locally but never acknowledged
+
+	Err string // digest mismatch / quiesce failure
+}
+
+// ReplicationResult is the commit-mode response surface.
+type ReplicationResult struct {
+	SF     int
+	Points []ReplicationPoint
+}
+
+// Replication sweeps the ASDB write mix across commit modes, storage
+// bandwidths, and replica counts: the commit path crosses the simulated
+// link and the replica WAL devices, so sync/quorum latency responds to
+// the same storage throttle the paper's sensitivity sweeps use. Every
+// cell verifies primary/standby digest equality at quiesce. Nil axes
+// take the defaults (ReplModes, RecoveryBandwidths, ReplReplicaCounts).
+// Cells boot isolated simulations: results are bit-identical at any
+// opt.Parallel.
+func Replication(sf int, opt Options, modes []repl.Mode, bandwidths []float64, replicas []int) ReplicationResult {
+	if modes == nil {
+		modes = ReplModes
+	}
+	if bandwidths == nil {
+		bandwidths = RecoveryBandwidths
+	}
+	if replicas == nil {
+		replicas = ReplReplicaCounts
+	}
+	type cell struct {
+		mode repl.Mode
+		bw   float64
+		n    int
+	}
+	var cells []cell
+	for _, n := range replicas {
+		for _, bw := range bandwidths {
+			for _, m := range modes {
+				cells = append(cells, cell{m, bw, n})
+			}
+		}
+	}
+	points := Sweep(opt.Parallel, len(cells), func(i int) ReplicationPoint {
+		c := cells[i]
+		k := Knobs{ReadLimitMBps: c.bw, WriteLimitMBps: c.bw}
+		rcfg := repl.Config{Mode: c.mode, Quorum: (c.n + 1) / 2, Replicas: c.n}
+		srv, cl, d := buildReplicated(sf, opt, k, rcfg, engine.RecoveryOptions{})
+		clients := opt.Users
+		if clients <= 0 {
+			clients = 128
+		}
+		end := sim.Time(opt.Warmup + opt.Measure)
+		var st asdb.Stats
+		asdb.RunClients(srv, d, clients, asdb.DefaultMix(), end, &st)
+		srv.Sim.Run(sim.Time(opt.Warmup))
+		before := *srv.Ctr
+		srv.Sim.Run(end)
+		delta := srv.Ctr.Sub(before)
+		quiesced, errStr := quiesceAndCheck(srv, cl, end)
+		srv.Stop()
+		srv.Sim.Run(srv.Sim.Now() + sim.Time(600*sim.Second))
+		cl.Shutdown()
+		srv.Sim.Run(srv.Sim.Now() + sim.Time(10*sim.Second))
+		_ = quiesced
+
+		secs := opt.Measure.Seconds()
+		p := ReplicationPoint{
+			Mode: c.mode, Replicas: c.n, BandwidthMBps: c.bw,
+			TPS:       float64(delta.TxnCommits) / secs,
+			MaxLagKB:  float64(cl.MaxLagBytes()) / 1024,
+			ShippedMB: float64(srv.Ctr.ReplShippedBytes) / 1e6,
+			Unacked:   srv.Ctr.ReplUnackedCommits,
+			Err:       errStr,
+		}
+		for _, s := range cl.Standbys {
+			p.AppliedTxns += s.Srv.Ctr.ReplAppliedTxns
+		}
+		if delta.TxnCommits > 0 {
+			p.CommitAckMs = float64(delta.WaitNs[metrics.WaitReplAck]) / float64(delta.TxnCommits) / 1e6
+		}
+		return p
+	}, opt.Progress)
+	return ReplicationResult{SF: sf, Points: points}
+}
+
+// String renders the sweep as an aligned table.
+func (r ReplicationResult) String() string {
+	s := fmt.Sprintf("replication asdb sf=%d (commit mode x storage bandwidth x replicas)\n", r.SF)
+	s += fmt.Sprintf("%-7s %4s %8s %9s %10s %10s %10s %9s %8s %s\n",
+		"mode", "repl", "bw-MB/s", "tps", "ack-ms", "maxlag-KB", "shipped-MB", "applied", "unacked", "err")
+	for _, p := range r.Points {
+		s += fmt.Sprintf("%-7s %4d %8.0f %9.1f %10.3f %10.1f %10.2f %9d %8d %s\n",
+			p.Mode, p.Replicas, p.BandwidthMBps, p.TPS, p.CommitAckMs,
+			p.MaxLagKB, p.ShippedMB, p.AppliedTxns, p.Unacked, p.Err)
+	}
+	return s
+}
+
+// Err returns the first cell error, nil when every cell verified.
+func (r ReplicationResult) Err() error {
+	for _, p := range r.Points {
+		if p.Err != "" {
+			return fmt.Errorf("replication mode=%s repl=%d bw=%.0f: %s", p.Mode, p.Replicas, p.BandwidthMBps, p.Err)
+		}
+	}
+	return nil
+}
+
+// FailoverCell is one crash → promotion → verification execution,
+// with a point-in-time restore verified from the same run's archive.
+type FailoverCell struct {
+	Mode     repl.Mode
+	Replicas int
+
+	Commits  int64
+	Failover repl.FailoverReport
+	PITR     repl.PITRReport
+	Err      string
+}
+
+// FailoverResult is the failover/RTO sweep.
+type FailoverResult struct {
+	SF    int
+	Cells []FailoverCell
+}
+
+// Failover crashes a replicated primary mid-run at a seeded point,
+// promotes the most caught-up standby, and verifies the failover
+// invariants: the promoted image equals a pure replay of its durable
+// log (committed-durable preserved, uncommitted undone) and no
+// acknowledged commit is lost. The same run archives WAL segments and
+// incremental snapshots; after promotion a point-in-time restore to a
+// mid-run commit LSN is verified against an independent replay of the
+// primary's durable log prefix. modes nil uses ReplModes.
+func Failover(sf int, opt Options, modes []repl.Mode) FailoverResult {
+	if modes == nil {
+		modes = ReplModes
+	}
+	crashAt := opt.Warmup + opt.Measure
+	cells := Sweep(opt.Parallel, len(modes), func(i int) FailoverCell {
+		mode := modes[i]
+		out := FailoverCell{Mode: mode, Replicas: 2}
+		ro := engine.RecoveryOptions{
+			MaxFlushBytes: 4 << 10,
+			Crash:         fault.CrashPlan{Point: fault.CrashAtTime, At: crashAt},
+		}
+		rcfg := repl.Config{
+			Mode: mode, Quorum: 1, Replicas: 2,
+			ArchiveSegBytes: 32 << 10, SnapshotEvery: 2,
+		}
+		srv, cl, d := buildReplicated(sf, opt, Knobs{WriteLimitMBps: 50}, rcfg, ro)
+		clients := opt.Users
+		if clients <= 0 {
+			clients = 128
+		}
+		until := driverHorizon(opt)
+		var st asdb.Stats
+		asdb.RunClients(srv, d, clients, asdb.DefaultMix(), until, &st)
+
+		var frep *repl.FailoverReport
+		var prep *repl.PITRReport
+		var pitrErr error
+		srv.Sim.Spawn("failover-driver", func(p *sim.Proc) {
+			for !srv.Crashed() && p.Now() < until {
+				p.Sleep(10 * sim.Millisecond)
+			}
+			if !srv.Crashed() {
+				return
+			}
+			frep = cl.Failover(p)
+			if cl.Arch != nil {
+				// Restore to the commit nearest the middle of the archived
+				// stream, charging restore I/O to the promoted node's device.
+				lsn := cl.CommitLSNNear(0.5)
+				if lsn > 0 && lsn <= cl.Arch.Horizon() {
+					_, prep, pitrErr = cl.Arch.RecoverTo(p, cl.PromotedStandby().Srv.Dev, lsn)
+					if pitrErr == nil {
+						pitrErr = cl.Arch.VerifyPITR(prep)
+					}
+				}
+			}
+		})
+		srv.Sim.Run(until + sim.Time(600*sim.Second))
+		cl.Shutdown()
+		srv.Sim.Run(srv.Sim.Now() + sim.Time(10*sim.Second))
+
+		out.Commits = srv.Ctr.TxnCommits
+		if frep == nil {
+			out.Err = "primary crash never fired"
+			return out
+		}
+		out.Failover = *frep
+		if err := cl.VerifyFailover(frep); err != nil {
+			out.Err = err.Error()
+			return out
+		}
+		if pitrErr != nil {
+			out.Err = "pitr: " + pitrErr.Error()
+			return out
+		}
+		if prep == nil {
+			out.Err = "pitr restore did not run"
+			return out
+		}
+		out.PITR = *prep
+		return out
+	}, opt.Progress)
+	return FailoverResult{SF: sf, Cells: cells}
+}
+
+// String renders the sweep as an aligned table.
+func (r FailoverResult) String() string {
+	s := fmt.Sprintf("failover asdb sf=%d (crash -> promotion -> PITR)\n", r.SF)
+	s += fmt.Sprintf("%-7s %4s %8s %8s %10s %10s %6s %9s %7s %9s %9s %s\n",
+		"mode", "repl", "commits", "rto-ms", "crash-lsn", "promo-lsn", "acked",
+		"lost-ack", "lost", "pitr-lsn", "pitr-txn", "err")
+	for _, c := range r.Cells {
+		f := c.Failover
+		s += fmt.Sprintf("%-7s %4d %8d %8.1f %10d %10d %6d %9d %7d %9d %9d %s\n",
+			c.Mode, c.Replicas, c.Commits, float64(f.RTO)/1e6, f.PrimaryLSN, f.PromotedLSN,
+			f.AckedCommits, f.LostAckedCommits, f.LostCommits, c.PITR.LandedLSN, c.PITR.Txns, c.Err)
+	}
+	return s
+}
+
+// Err returns the first failed cell, nil when the whole sweep verified.
+func (r FailoverResult) Err() error {
+	for _, c := range r.Cells {
+		if c.Err != "" {
+			return fmt.Errorf("failover mode=%s: %s", c.Mode, c.Err)
+		}
+	}
+	return nil
+}
+
+// HTAPRoutedResult measures the hybrid workload with its analytical half
+// routed to read replicas under a staleness bound.
+type HTAPRoutedResult struct {
+	OLTPTps     float64
+	DSSQps      float64
+	ReplicaFrac float64 // fraction of analytical queries served by standbys
+	MaxLagKB    float64
+	Err         string
+}
+
+// ReplicatedHTAP runs the paper's hybrid workload on a replicated
+// topology: the 99-user transactional component on the primary, the
+// analytical user routed per query to the most caught-up standby when
+// its apply lag fits the staleness bound (falling back to the primary
+// when replicas trail too far). Standby images carry the updatable
+// columnstore, so routed analytical scans exercise the replica's own
+// buffer pool and device, and the cell verifies digest equality at
+// quiesce — the columnstore delta replay path included.
+func ReplicatedHTAP(customers int, opt Options, k Knobs, rcfg repl.Config) HTAPRoutedResult {
+	density := opt.Density / 25
+	if density < 2 {
+		density = 2
+	}
+	hcfg := htap.Config{Customers: customers, ActualTradesPerCustomer: density, Seed: opt.Seed}
+	d := htap.Build(hcfg)
+	kk := k
+	kk.Faults = nil
+	srv := newServer(opt, kk)
+	srv.AttachDB(d.DB)
+	srv.WarmBufferPool()
+	srv.ArmRecovery(engine.RecoveryOptions{})
+	byDB := make(map[*engine.Database]*tpce.Dataset)
+	rcfg.NewImage = func() *engine.Database {
+		dd := htap.Build(hcfg)
+		byDB[dd.DB] = dd
+		return dd.DB
+	}
+	cl := repl.New(srv, rcfg)
+	srv.Start()
+	cl.Start()
+
+	users := opt.Users
+	if users <= 0 {
+		users = 99
+	}
+	end := sim.Time(opt.Warmup + opt.Measure)
+	var st tpce.Stats
+	tpce.RunUsers(srv, d, users, tpce.DefaultMix(), end, &st)
+	var passes, passesWarm int64
+	srv.Sim.Spawn("htap-analyst", func(p *sim.Proc) {
+		g := srv.Sim.RNG().Fork()
+		for qn := 0; !srv.Stopped() && p.Now() < end; qn++ {
+			tsrv, td := srv, d
+			if node := cl.RouteRead(0); node >= 0 {
+				s := cl.Standbys[node]
+				tsrv, td = s.Srv, byDB[s.DB]
+			}
+			if res := tsrv.RunQuery(p, td.AnalyticalQuery(qn, g), 0, 0); res.Err == nil {
+				passes++
+			}
+		}
+	})
+	srv.Sim.Run(sim.Time(opt.Warmup))
+	before := *srv.Ctr
+	passesWarm = passes
+	routedWarm := cl.RoutedReplica + cl.RoutedPrimary
+	replicaWarm := cl.RoutedReplica
+	srv.Sim.Run(end)
+	delta := srv.Ctr.Sub(before)
+	_, errStr := quiesceAndCheck(srv, cl, end)
+	srv.Stop()
+	srv.Sim.Run(srv.Sim.Now() + sim.Time(600*sim.Second))
+	cl.Shutdown()
+	srv.Sim.Run(srv.Sim.Now() + sim.Time(10*sim.Second))
+
+	secs := opt.Measure.Seconds()
+	out := HTAPRoutedResult{
+		OLTPTps:  float64(delta.TxnCommits) / secs,
+		DSSQps:   float64(passes-passesWarm) / secs,
+		MaxLagKB: float64(cl.MaxLagBytes()) / 1024,
+		Err:      errStr,
+	}
+	if routed := (cl.RoutedReplica + cl.RoutedPrimary) - routedWarm; routed > 0 {
+		out.ReplicaFrac = float64(cl.RoutedReplica-replicaWarm) / float64(routed)
+	}
+	return out
+}

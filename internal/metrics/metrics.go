@@ -28,6 +28,8 @@ const (
 	WaitCPU                          // runnable, waiting for a scheduler
 	WaitIO                           // direct I/O waits outside the buffer pool
 	WaitRecovery                     // crash-recovery work (analysis/redo/undo)
+	WaitReplAck                      // commit waiting on replica acknowledgements
+	WaitReplApply                    // standby apply work (redo on the replica)
 	NumWaitClasses
 )
 
@@ -52,6 +54,10 @@ func (w WaitClass) String() string {
 		return "IO_COMPLETION"
 	case WaitRecovery:
 		return "RECOVERY"
+	case WaitReplAck:
+		return "REPL_ACK"
+	case WaitReplApply:
+		return "REPL_APPLY"
 	default:
 		return fmt.Sprintf("WAIT(%d)", int(w))
 	}
@@ -107,6 +113,17 @@ type Counters struct {
 	CrashLostTxns       int64 // in-flight txns wiped by a crash (no durable trace)
 	CrashLostRecords    int64 // appended-but-unflushed records lost at crash
 
+	// Replication / archiving counters.
+	ReplShippedBatches  int64 // record batches shipped primary -> standby
+	ReplShippedBytes    int64 // WAL bytes shipped over replication links
+	ReplAppliedTxns     int64 // committed transactions applied on standbys
+	ReplUnackedCommits  int64 // durable commits whose replica ack never arrived
+	ReplLinkStalls      int64 // replication-link stall/partition fault events
+	ArchivedSegments    int64 // WAL segments sealed into the archive
+	ArchivedBytes       int64 // WAL bytes archived
+	ArchiveSegmentsLost int64 // archived segments destroyed by fault injection
+	PITRRestores        int64 // point-in-time restores completed
+
 	WaitNs [NumWaitClasses]int64
 }
 
@@ -159,6 +176,16 @@ func (c Counters) Sub(o Counters) Counters {
 		CommitsNotDurable:   c.CommitsNotDurable - o.CommitsNotDurable,
 		CrashLostTxns:       c.CrashLostTxns - o.CrashLostTxns,
 		CrashLostRecords:    c.CrashLostRecords - o.CrashLostRecords,
+
+		ReplShippedBatches:  c.ReplShippedBatches - o.ReplShippedBatches,
+		ReplShippedBytes:    c.ReplShippedBytes - o.ReplShippedBytes,
+		ReplAppliedTxns:     c.ReplAppliedTxns - o.ReplAppliedTxns,
+		ReplUnackedCommits:  c.ReplUnackedCommits - o.ReplUnackedCommits,
+		ReplLinkStalls:      c.ReplLinkStalls - o.ReplLinkStalls,
+		ArchivedSegments:    c.ArchivedSegments - o.ArchivedSegments,
+		ArchivedBytes:       c.ArchivedBytes - o.ArchivedBytes,
+		ArchiveSegmentsLost: c.ArchiveSegmentsLost - o.ArchiveSegmentsLost,
+		PITRRestores:        c.PITRRestores - o.PITRRestores,
 	}
 	for i := range d.WaitNs {
 		d.WaitNs[i] = c.WaitNs[i] - o.WaitNs[i]

@@ -1,0 +1,133 @@
+package repl
+
+import (
+	"fmt"
+
+	"repro/internal/engine"
+	"repro/internal/sim"
+	"repro/internal/wal"
+)
+
+// FailoverReport measures one primary crash → standby promotion.
+type FailoverReport struct {
+	CrashAt    sim.Time
+	PromotedAt sim.Time
+	RTO        sim.Duration // detection + tail drain + promotion
+
+	Promoted    int   // promoted standby index
+	PrimaryLSN  int64 // primary's durable LSN at the crash
+	PromotedLSN int64 // promoted standby's applied (== durable) LSN
+
+	// Commit outcomes across the failover boundary.
+	AckedCommits     int64 // commits acknowledged under sync/quorum
+	LostAckedCommits int64 // acked commits past the promoted LSN — must be 0
+	LostCommits      int64 // primary-durable commits the standby never received
+}
+
+func (r *FailoverReport) String() string {
+	return fmt.Sprintf("failover: standby %d promoted at LSN %d/%d, RTO %.1fms, acked %d (lost %d), unreplicated commits %d",
+		r.Promoted, r.PromotedLSN, r.PrimaryLSN, float64(r.RTO)/1e6,
+		r.AckedCommits, r.LostAckedCommits, r.LostCommits)
+}
+
+// Failover runs promotion after the primary has crashed (Server.Crash,
+// typically via a seeded fault.Crasher): charge the failure-detection
+// delay, wait for the shippers to drain whatever durable tail the link
+// still delivered and for every applier to finish, promote the most
+// caught-up standby, and discard its in-flight (uncommitted) pending
+// state. RTO is measured from the crash instant to promotion.
+func (c *Cluster) Failover(p *sim.Proc) *FailoverReport {
+	crashAt := c.crashAt
+	if crashAt == 0 {
+		crashAt = p.Now()
+	}
+	p.Sleep(c.Cfg.FailDetect)
+	for !c.drained() {
+		p.Sleep(sim.Millisecond)
+	}
+	best := 0
+	for i, s := range c.Standbys {
+		if s.appliedLSN > c.Standbys[best].appliedLSN {
+			best = i
+		}
+	}
+	s := c.Standbys[best]
+	// In-flight transactions die with the primary: their updates were
+	// pending (never applied), so dropping them is the undo.
+	s.apply.pending = make(map[int64][]wal.Op)
+	c.promoted = best
+
+	rep := &FailoverReport{
+		CrashAt:      crashAt,
+		PromotedAt:   p.Now(),
+		RTO:          sim.Duration(p.Now() - crashAt),
+		Promoted:     best,
+		PrimaryLSN:   c.Primary.Log.FlushedLSN(),
+		PromotedLSN:  s.appliedLSN,
+		AckedCommits: int64(len(c.ackedLSNs)),
+	}
+	for _, lsn := range c.ackedLSNs {
+		if lsn > s.appliedLSN {
+			rep.LostAckedCommits++
+		}
+	}
+	for _, r := range c.Primary.Log.Records() {
+		if r.Type == wal.RecCommit && r.LSN > 0 && r.LSN <= rep.PrimaryLSN && r.LSN > s.appliedLSN {
+			rep.LostCommits++
+		}
+	}
+	return rep
+}
+
+// PromotedStandby returns the promoted standby after Failover (nil before).
+func (c *Cluster) PromotedStandby() *Standby {
+	if c.promoted < 0 {
+		return nil
+	}
+	return c.Standbys[c.promoted]
+}
+
+// drained reports whether the replication pipeline has fully shut down:
+// every shipper and applier proc exited with empty inboxes.
+func (c *Cluster) drained() bool {
+	for _, s := range c.Standbys {
+		if !s.shipperDone || !s.applierDone || len(s.inbox) > 0 {
+			return false
+		}
+	}
+	return true
+}
+
+// VerifyFailover checks the promotion invariants:
+//
+//   - durability: the promoted image equals an independent pure replay of
+//     the standby's own durable log onto a fresh dataset image — every
+//     committed-durable transaction the standby received survived, every
+//     uncommitted transaction left nothing (its updates never applied);
+//   - no acked commit lost: every commit acknowledged to a client under
+//     sync/quorum lies within the promoted LSN (the promoted standby is
+//     the most caught-up, and acks required durability on at least the
+//     quorum).
+func (c *Cluster) VerifyFailover(rep *FailoverReport) error {
+	if rep.LostAckedCommits != 0 {
+		return fmt.Errorf("repl: %d acknowledged commits lost in failover", rep.LostAckedCommits)
+	}
+	s := c.PromotedStandby()
+	if s == nil {
+		return fmt.Errorf("repl: no standby promoted")
+	}
+	if flushed := s.Srv.Log.FlushedLSN(); s.appliedLSN != flushed {
+		return fmt.Errorf("repl: promoted standby applied LSN %d != its durable LSN %d", s.appliedLSN, flushed)
+	}
+	shadow := newApplyState(c.Cfg.NewImage())
+	for _, r := range s.Srv.Log.Records() {
+		if r.LSN > 0 && r.LSN <= s.Srv.Log.FlushedLSN() {
+			shadow.Apply(r)
+		}
+	}
+	want := engine.DigestDB(shadow.db)
+	if got := engine.DigestDB(s.DB); got != want {
+		return fmt.Errorf("repl: promoted image digest %016x != pure replay of its durable log %016x", got, want)
+	}
+	return nil
+}

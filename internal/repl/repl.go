@@ -1,0 +1,612 @@
+// Package repl implements log-shipping replication on the engine's typed
+// logical WAL: one primary, N standbys, each standby a full simulated
+// machine (its own device, bandwidth, buffer pool, and WAL) continuously
+// applying the primary's durable record stream. Commit modes charge the
+// cross-node acknowledgement path (sync / quorum(k) / async) through the
+// simulated replication links and replica WAL devices — the commit-path
+// placement question *OLTP on Hardware Islands* raises, run against the
+// paper's storage-bandwidth throttles. WAL archiving, incremental
+// snapshots, and point-in-time recovery layer on top (archive.go), and
+// failover promotes the most caught-up standby with a measured RTO
+// (failover.go).
+//
+// Everything runs on one sim clock, so replicated runs are bit-identical
+// at any host parallelism; a server with no cluster attached behaves
+// exactly as before this package existed.
+package repl
+
+import (
+	"errors"
+	"fmt"
+
+	"repro/internal/engine"
+	"repro/internal/metrics"
+	"repro/internal/sim"
+	"repro/internal/wal"
+)
+
+// Mode is the replication commit mode.
+type Mode int
+
+// Commit modes.
+const (
+	// ModeAsync returns from commit after local group commit; standbys
+	// apply in the background and lag is unbounded.
+	ModeAsync Mode = iota
+	// ModeSync holds each commit until every standby has the commit
+	// record durable in its own WAL.
+	ModeSync
+	// ModeQuorum holds each commit until Quorum standbys are durable.
+	ModeQuorum
+)
+
+// String returns the mode's flag spelling.
+func (m Mode) String() string {
+	switch m {
+	case ModeSync:
+		return "sync"
+	case ModeQuorum:
+		return "quorum"
+	default:
+		return "async"
+	}
+}
+
+// ParseMode parses a commit-mode name ("sync", "async", "quorum").
+func ParseMode(s string) (Mode, bool) {
+	switch s {
+	case "sync":
+		return ModeSync, true
+	case "quorum":
+		return ModeQuorum, true
+	case "async", "":
+		return ModeAsync, true
+	}
+	return ModeAsync, false
+}
+
+// ErrNoAck is returned through txn.Manager.CommitWait when a sync/quorum
+// commit cannot collect its replica acknowledgements (link partitioned
+// past the ack timeout, or the cluster shut down). The transaction is
+// locally durable; the client must treat the outcome as unknown.
+var ErrNoAck = errors.New("repl: commit acknowledgement timeout")
+
+// Config sizes a cluster. Zero values take defaults.
+type Config struct {
+	Mode     Mode
+	Quorum   int // acks required in ModeQuorum (clamped to [1, Replicas])
+	Replicas int // number of standbys (default 1)
+
+	LinkMBps    float64      // per-link shipping bandwidth (default 1000)
+	LinkLatency sim.Duration // one-way link latency (default 200µs)
+	AckTimeout  sim.Duration // bound on sync/quorum commit waits (default 10s)
+
+	// StalenessBytes bounds how far (in WAL bytes) a standby may trail the
+	// primary and still serve routed reads (default 4 MB).
+	StalenessBytes int64
+
+	// LagInterval is the replica-lag sampling period (default 100ms).
+	LagInterval sim.Duration
+
+	// FailDetect is the failure-detection delay charged before promotion
+	// begins on a primary crash (default 500ms).
+	FailDetect sim.Duration
+
+	// ArchiveSegBytes seals archive segments at this size; 0 disables
+	// archiving (and PITR). SnapshotEvery takes an incremental snapshot
+	// every that many sealed segments (default 4).
+	ArchiveSegBytes int64
+	SnapshotEvery   int
+
+	// NewImage builds an identical copy of the primary's dataset —
+	// the same Build call with the same parameters, which yields the same
+	// table/index file IDs (the catalog allocates them deterministically).
+	// Called once per standby, once for the archiver's shadow image, and
+	// once per PITR restore.
+	NewImage func() *engine.Database
+}
+
+func (cfg Config) withDefaults() Config {
+	if cfg.Replicas <= 0 {
+		cfg.Replicas = 1
+	}
+	if cfg.Quorum <= 0 {
+		cfg.Quorum = 1
+	}
+	if cfg.Quorum > cfg.Replicas {
+		cfg.Quorum = cfg.Replicas
+	}
+	if cfg.LinkMBps <= 0 {
+		cfg.LinkMBps = 1000
+	}
+	if cfg.LinkLatency <= 0 {
+		cfg.LinkLatency = 200 * sim.Microsecond
+	}
+	if cfg.AckTimeout <= 0 {
+		cfg.AckTimeout = 10 * sim.Second
+	}
+	if cfg.StalenessBytes <= 0 {
+		cfg.StalenessBytes = 4 << 20
+	}
+	if cfg.LagInterval <= 0 {
+		cfg.LagInterval = 100 * sim.Millisecond
+	}
+	if cfg.FailDetect <= 0 {
+		cfg.FailDetect = 500 * sim.Millisecond
+	}
+	if cfg.SnapshotEvery <= 0 {
+		cfg.SnapshotEvery = 4
+	}
+	return cfg
+}
+
+// LagSample is one replica-lag measurement.
+type LagSample struct {
+	At    sim.Time
+	Bytes int64 // primary flushed LSN - standby applied LSN
+}
+
+// Standby is one replica: a full engine.Server (own device, buffer pool,
+// WAL) whose log holds an exact byte-for-byte prefix of the primary's
+// LSN space — records are re-appended with their original byte sizes, so
+// standby LSNs equal primary LSNs and lag is a byte subtraction.
+type Standby struct {
+	Srv *engine.Server
+	DB  *engine.Database
+
+	c    *Cluster
+	idx  int
+	link *sim.FluidServer
+
+	reader *wal.StreamReader // over the primary's log
+
+	inbox  []shipment // shipped, not yet appended/applied
+	inboxQ sim.WaitQueue
+
+	apply      *applyState
+	appliedLSN int64 // highest LSN applied to the standby image
+
+	shipperDone bool
+	applierDone bool
+
+	LagSamples []LagSample
+}
+
+// shipment is one delivered batch tagged with the primary-stream
+// position of its first record. The standby log is a strict positional
+// prefix of the primary's record stream, so positions — not LSNs, which
+// zero-byte records share with their predecessors — are what the
+// applier dedupes re-shipped batches by.
+type shipment struct {
+	pos  int
+	recs []*wal.Record
+}
+
+// AppliedLSN returns the highest LSN applied to the standby's image.
+func (s *Standby) AppliedLSN() int64 { return s.appliedLSN }
+
+// DurableLSN returns the standby's WAL-durable LSN (the ack basis).
+func (s *Standby) DurableLSN() int64 { return s.Srv.Log.FlushedLSN() }
+
+// Cluster wires a primary to its standbys. Create with New after the
+// primary has ArmRecovery'd (typed records are the replication stream)
+// and AttachDB'd; call Start alongside the primary's Start.
+type Cluster struct {
+	Primary *engine.Server
+	Cfg     Config
+
+	Standbys []*Standby
+	Arch     *Archiver // nil unless Cfg.ArchiveSegBytes > 0
+
+	sm *sim.Sim
+
+	linkDown bool
+	linkQ    sim.WaitQueue // shippers park here while partitioned
+	ackQ     sim.WaitQueue // sync/quorum commit waiters
+
+	stopped  bool
+	crashAt  sim.Time // primary crash instant (failover)
+	promoted int      // standby index after Failover, else -1
+
+	ackedLSNs []int64 // commit LSNs acknowledged to clients (sync/quorum)
+
+	// Read-routing tallies (RouteRead).
+	RoutedReplica int64
+	RoutedPrimary int64
+}
+
+// New builds a cluster around an armed primary. The standbys' dataset
+// images come from cfg.NewImage; each standby inherits the primary's
+// server config (minus replication fields) on the shared sim clock.
+func New(primary *engine.Server, cfg Config) *Cluster {
+	cfg = cfg.withDefaults()
+	if !primary.Log.Recording {
+		panic("repl: primary must ArmRecovery before New (typed records are the stream)")
+	}
+	if cfg.NewImage == nil {
+		panic("repl: Config.NewImage is required")
+	}
+	c := &Cluster{Primary: primary, Cfg: cfg, sm: primary.Sim, promoted: -1}
+	scfg := primary.Cfg
+	scfg.ReplMode, scfg.ReplQuorum = "", 0
+	for i := 0; i < cfg.Replicas; i++ {
+		img := cfg.NewImage()
+		srv := engine.NewServerOn(primary.Sim, scfg)
+		srv.Log.Recording = true
+		srv.Log.MaxFlushBytes = primary.Log.MaxFlushBytes
+		srv.AttachDB(img)
+		srv.WarmBufferPool()
+		s := &Standby{
+			Srv:    srv,
+			DB:     img,
+			c:      c,
+			idx:    i,
+			link:   sim.NewFluidServer(cfg.LinkMBps * 1e6),
+			reader: primary.Log.NewStreamReader(),
+			apply:  newApplyState(img),
+		}
+		c.Standbys = append(c.Standbys, s)
+	}
+	if cfg.ArchiveSegBytes > 0 {
+		c.Arch = newArchiver(c)
+	}
+	return c
+}
+
+// Start launches the replication pipeline: each standby's log writer,
+// shipper, and applier, the lag sampler, the archiver, and — for sync /
+// quorum modes — the primary's commit-wait hook. It also registers a
+// stop hook on the primary so shutdown (or crash) propagates.
+func (c *Cluster) Start() {
+	for _, s := range c.Standbys {
+		s.Srv.Log.Start()
+		c.runShipper(s)
+		c.runApplier(s)
+	}
+	if c.Arch != nil {
+		c.Arch.run()
+	}
+	c.runLagSampler()
+	if c.Cfg.Mode != ModeAsync {
+		c.Primary.Txns.CommitWait = c.commitWait
+	}
+	c.Primary.AddStopHook(func() {
+		c.stopped = true
+		if c.crashAt == 0 {
+			c.crashAt = c.sm.Now()
+		}
+		c.linkQ.WakeAll(c.sm)
+		c.ackQ.WakeAll(c.sm)
+	})
+}
+
+// Shutdown stops the standby servers. Call after the primary has stopped
+// and the pipeline has drained (Quiesced, or the sim drain window).
+func (c *Cluster) Shutdown() {
+	for _, s := range c.Standbys {
+		s.Srv.Stop()
+		s.inboxQ.WakeAll(c.sm)
+	}
+}
+
+// Quiesced reports whether the whole pipeline has caught up: every
+// durable primary record shipped, appended durably, and applied on every
+// standby, with nothing left in flight.
+func (c *Cluster) Quiesced() bool {
+	flushed := c.Primary.Log.FlushedLSN()
+	if c.Primary.Log.AppendedLSN() != flushed {
+		return false
+	}
+	for _, s := range c.Standbys {
+		if len(s.inbox) > 0 || s.appliedLSN < flushed {
+			return false
+		}
+	}
+	return true
+}
+
+// CheckDigests compares every standby's state digest against the
+// primary's. Valid at quiesce after all client transactions have ended
+// cleanly (committed durable or aborted and undone); a mismatch means
+// the apply path diverged.
+func (c *Cluster) CheckDigests() error {
+	want := engine.DigestDB(c.Primary.DB)
+	for _, s := range c.Standbys {
+		if got := engine.DigestDB(s.DB); got != want {
+			return fmt.Errorf("repl: standby %d digest %016x != primary %016x (applied %d, primary flushed %d)",
+				s.idx, got, want, s.appliedLSN, c.Primary.Log.FlushedLSN())
+		}
+	}
+	return nil
+}
+
+// RouteRead picks the node to serve an analytical read within the
+// staleness bound (in WAL bytes; <= 0 uses Config.StalenessBytes): the
+// most caught-up standby when its lag fits the bound, else the primary.
+// Returns -1 for the primary, otherwise a standby index.
+func (c *Cluster) RouteRead(bound int64) int {
+	if bound <= 0 {
+		bound = c.Cfg.StalenessBytes
+	}
+	best, bestApplied := -1, int64(-1)
+	for i, s := range c.Standbys {
+		if s.appliedLSN > bestApplied {
+			best, bestApplied = i, s.appliedLSN
+		}
+	}
+	if best >= 0 && c.Primary.Log.FlushedLSN()-bestApplied <= bound {
+		c.RoutedReplica++
+		return best
+	}
+	c.RoutedPrimary++
+	return -1
+}
+
+// runShipper spawns the per-standby shipping proc: it cursors the
+// primary's durable record stream, charges link bandwidth + latency, and
+// delivers batches to the standby inbox. A partitioned link parks the
+// shipper; records becoming durable while partitioned are shipped on
+// heal. When the primary's log stops (shutdown or crash), the remaining
+// durable tail is shipped and the shipper exits.
+func (c *Cluster) runShipper(s *Standby) {
+	c.sm.Spawn(fmt.Sprintf("repl-ship-%d", s.idx), func(p *sim.Proc) {
+		defer func() {
+			s.shipperDone = true
+			s.inboxQ.WakeAll(c.sm)
+		}()
+		for {
+			batch, pos, ok := s.reader.NextBatch(p)
+			if !ok {
+				return
+			}
+			for c.linkDown && !c.stopped {
+				c.linkQ.Wait(p)
+			}
+			if c.linkDown {
+				return // primary died while partitioned: the tail never arrives
+			}
+			var bytes int64
+			for _, r := range batch {
+				bytes += r.Bytes
+			}
+			s.link.Serve(p, float64(bytes))
+			p.Sleep(c.Cfg.LinkLatency)
+			c.Primary.Ctr.ReplShippedBatches++
+			c.Primary.Ctr.ReplShippedBytes += bytes
+			s.inbox = append(s.inbox, shipment{pos: pos, recs: batch})
+			s.inboxQ.WakeAll(c.sm)
+		}
+	})
+}
+
+// runApplier spawns the per-standby apply proc: append shipped records
+// to the standby's own WAL (same byte sizes, hence the same LSNs), wait
+// for them to be durable on the standby's device, then redo committed
+// transactions against the standby image, charging page I/O through the
+// standby's buffer pool. Only the durable prefix is ever applied, so
+// apply state always matches the standby's crash-surviving log; records
+// already present (LSN <= the standby's appended LSN) are dropped, which
+// makes a re-shipped batch after reconnect idempotent.
+func (c *Cluster) runApplier(s *Standby) {
+	c.sm.Spawn(fmt.Sprintf("repl-apply-%d", s.idx), func(p *sim.Proc) {
+		defer func() {
+			s.applierDone = true
+			c.ackQ.WakeAll(c.sm)
+		}()
+		for {
+			for len(s.inbox) == 0 && !s.shipperDone {
+				s.inboxQ.Wait(p)
+			}
+			if len(s.inbox) == 0 {
+				return
+			}
+			batch := s.inbox
+			s.inbox = nil
+			// The standby log must stay an exact positional prefix of the
+			// primary stream: accept exactly the records at the next
+			// expected positions. Earlier positions are duplicates
+			// (re-shipped after a reconnect raced in-flight deliveries);
+			// later ones are a gap — records lost to a standby crash that
+			// the reconnecting shipper will re-ship.
+			next := len(s.Srv.Log.Records())
+			var copies []*wal.Record
+			for _, sh := range batch {
+				for i, r := range sh.recs {
+					q := sh.pos + i
+					if q < next {
+						continue
+					}
+					if q > next {
+						break
+					}
+					cp := *r // AppendBatch assigns LSNs in place; never mutate the primary's record
+					copies = append(copies, &cp)
+					next++
+				}
+			}
+			if len(copies) == 0 {
+				continue
+			}
+			end := s.Srv.Log.AppendBatch(copies)
+			// Capture the assigned LSNs now: a standby crash zeroes the
+			// LSNs of truncated records in place, and the durability check
+			// below must keep seeing the original positions. FlushedLSN is
+			// monotone (a crash freezes it, truncation rewinds only the
+			// append position), so lsns[i] <= flushed is a stable predicate
+			// even if the log crashes while this loop is parked in page I/O.
+			lsns := make([]int64, len(copies))
+			for i, r := range copies {
+				lsns[i] = r.LSN
+			}
+			_, err := s.Srv.Log.WaitDurable(p, end)
+			applyStart := p.Now()
+			txns0 := s.apply.appliedTxns
+			for i, r := range copies {
+				if lsns[i] > s.Srv.Log.FlushedLSN() {
+					// Lost to a standby crash before flushing; the
+					// reconnecting shipper re-ships from the standby's
+					// retained prefix.
+					break
+				}
+				c.chargeApply(p, s, r)
+				s.apply.Apply(r)
+				s.appliedLSN = lsns[i]
+			}
+			s.Srv.Ctr.ReplAppliedTxns += s.apply.appliedTxns - txns0
+			metrics.ChargeWait(p, s.Srv.Ctr, metrics.WaitReplApply, sim.Duration(p.Now()-applyStart))
+			c.ackQ.WakeAll(c.sm)
+			_ = err // a stopped/crashed standby log: keep draining; reconnect or shutdown decides
+		}
+	})
+}
+
+// chargeApply charges the standby-side redo cost of one record: the
+// covered page goes through the standby's buffer pool (latch, device
+// read on miss, dirtying) exactly as primary-side modifications do.
+func (c *Cluster) chargeApply(p *sim.Proc, s *Standby, r *wal.Record) {
+	if r.Page.Zero() {
+		return
+	}
+	f := s.apply.files[r.Page.File]
+	if f == nil {
+		return
+	}
+	s.Srv.BP.Probe(p, f, r.Page.Page, true, s.Srv.Cfg.Cost.RowOverheadNs)
+}
+
+// Reconnect re-ships the stream to a standby after its WAL crashed and
+// truncated: the shipper's cursor seeks back to the standby's retained
+// record count (the standby log is a positional prefix of the primary
+// stream), so everything the standby durably holds is skipped and
+// everything it lost is re-shipped. The standby's log must have been
+// Restarted. Safe against in-flight deliveries: the applier accepts
+// records strictly by next expected position.
+func (s *Standby) Reconnect() {
+	s.reader.SeekPos(len(s.Srv.Log.Records()))
+	s.c.linkQ.WakeAll(s.c.sm)
+	s.c.Primary.Log.WakeStream()
+}
+
+// CrashRestart runs the full standby-crash protocol: crash the standby's
+// WAL, truncate it to the durable prefix (losing the partially flushed
+// tail), restart the log writer, and reconnect the shipper. It returns
+// the number of records lost to the truncation.
+//
+// The yield between the crash and the restart is load-bearing: Crash
+// wakes the applier parked in WaitDurable, but the wake is a scheduled
+// event — restarting in the same event slice would clear the stop flag
+// before the applier re-checks it, leaving it waiting on a flush target
+// the truncation rewound away (and which only the applier's own future
+// appends could recreate).
+func (s *Standby) CrashRestart(p *sim.Proc) int {
+	s.Srv.Log.Crash()
+	lost := s.Srv.Log.TruncateAtFlushed()
+	p.Yield() // let waiters parked on the standby log observe the crash
+	s.Srv.Log.Restart()
+	s.Reconnect()
+	return lost
+}
+
+// commitWait is the txn.Manager hook for sync/quorum modes: it holds the
+// committing proc (locks still held) until enough standbys report the
+// commit record durable in their own WAL, then charges one link latency
+// for the acknowledgement trip. The wait is bounded by AckTimeout so a
+// partitioned link degrades to unacknowledged commits instead of
+// wedging the workload.
+func (c *Cluster) commitWait(p *sim.Proc, lsn int64) error {
+	need := len(c.Standbys)
+	if c.Cfg.Mode == ModeQuorum {
+		need = c.Cfg.Quorum
+	}
+	start := p.Now()
+	deadline := start + sim.Time(c.Cfg.AckTimeout)
+	ok := false
+	for !c.stopped {
+		n := 0
+		for _, s := range c.Standbys {
+			if s.Srv.Log.FlushedLSN() >= lsn {
+				n++
+			}
+		}
+		if n >= need && !c.linkDown {
+			ok = true
+			break
+		}
+		rem := sim.Duration(deadline - p.Now())
+		if rem <= 0 {
+			break
+		}
+		c.ackQ.WaitTimeout(p, rem)
+	}
+	if ok {
+		p.Sleep(c.Cfg.LinkLatency) // the acknowledgement's trip back
+		c.ackedLSNs = append(c.ackedLSNs, lsn)
+	}
+	metrics.ChargeWait(p, c.Primary.Ctr, metrics.WaitReplAck, sim.Duration(p.Now()-start))
+	if !ok {
+		return ErrNoAck
+	}
+	return nil
+}
+
+// runLagSampler spawns the lag-tracking proc: every LagInterval it
+// records each standby's apply lag in WAL bytes.
+func (c *Cluster) runLagSampler() {
+	c.sm.Spawn("repl-lag", func(p *sim.Proc) {
+		for !c.stopped {
+			p.Sleep(c.Cfg.LagInterval)
+			if c.stopped {
+				return
+			}
+			flushed := c.Primary.Log.FlushedLSN()
+			for _, s := range c.Standbys {
+				lag := flushed - s.appliedLSN
+				if lag < 0 {
+					lag = 0
+				}
+				s.LagSamples = append(s.LagSamples, LagSample{At: p.Now(), Bytes: lag})
+			}
+		}
+	})
+}
+
+// MaxLagBytes returns the largest lag ever sampled on any standby.
+func (c *Cluster) MaxLagBytes() int64 {
+	var max int64
+	for _, s := range c.Standbys {
+		for _, l := range s.LagSamples {
+			if l.Bytes > max {
+				max = l.Bytes
+			}
+		}
+	}
+	return max
+}
+
+// SetLinkDown implements fault.ReplTarget: partition (true) or heal
+// (false) every replication link. While down, shippers park, no batches
+// arrive, and sync/quorum acks stop.
+func (c *Cluster) SetLinkDown(down bool) {
+	c.linkDown = down
+	if !down {
+		c.linkQ.WakeAll(c.sm)
+		c.ackQ.WakeAll(c.sm)
+	}
+}
+
+// SetReplicaFlushPenalty implements fault.ReplTarget: every standby WAL
+// flush pays extra ns (0 clears) — the slow-replica degradation.
+func (c *Cluster) SetReplicaFlushPenalty(ns float64) {
+	for _, s := range c.Standbys {
+		s.Srv.Log.SetFlushPenalty(ns)
+	}
+}
+
+// DropOldestArchiveSegment implements fault.ReplTarget: destroy the
+// oldest surviving archived segment, reporting whether one existed.
+func (c *Cluster) DropOldestArchiveSegment() bool {
+	if c.Arch == nil {
+		return false
+	}
+	return c.Arch.dropOldest()
+}

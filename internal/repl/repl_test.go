@@ -1,0 +1,308 @@
+package repl_test
+
+import (
+	"errors"
+	"testing"
+
+	"repro/internal/engine"
+	"repro/internal/fault"
+	"repro/internal/metrics"
+	"repro/internal/repl"
+	"repro/internal/sim"
+	"repro/internal/workload/asdb"
+)
+
+type topo struct {
+	srv *engine.Server
+	cl  *repl.Cluster
+	d   *asdb.Dataset
+}
+
+// build assembles a small replicated topology: an armed primary on a
+// tiny ASDB dataset plus standbys per rcfg, all on one sim clock.
+func build(seed int64, rcfg repl.Config, ro engine.RecoveryOptions) *topo {
+	acfg := asdb.Config{SF: 1, ActualRowsPerSF: 2, Seed: seed}
+	d := asdb.Build(acfg)
+	cfg := engine.DefaultConfig()
+	cfg.Seed = seed
+	srv := engine.NewServer(cfg)
+	srv.AttachDB(d.DB)
+	srv.WarmBufferPool()
+	srv.ArmRecovery(ro)
+	rcfg.NewImage = func() *engine.Database { return asdb.Build(acfg).DB }
+	cl := repl.New(srv, rcfg)
+	srv.Start()
+	cl.Start()
+	return &topo{srv: srv, cl: cl, d: d}
+}
+
+// runWorkload drives closed-loop ASDB clients to the given simulated
+// time. Clients finish their last transaction cleanly, so at return
+// every transaction has ended (committed durable or aborted undone).
+func (tp *topo) runWorkload(clients int, until sim.Time) {
+	var st asdb.Stats
+	asdb.RunClients(tp.srv, tp.d, clients, asdb.DefaultMix(), until, &st)
+	tp.srv.Sim.Run(until)
+}
+
+// quiesce steps the sim until the replication pipeline has fully caught
+// up (bounded), failing the test if it never does.
+func (tp *topo) quiesce(t *testing.T) {
+	t.Helper()
+	deadline := tp.srv.Sim.Now() + sim.Time(600*sim.Second)
+	for tp.srv.Sim.Now() < deadline && !tp.cl.Quiesced() {
+		tp.srv.Sim.Run(tp.srv.Sim.Now() + sim.Time(sim.Second))
+	}
+	if !tp.cl.Quiesced() {
+		t.Fatal("replication pipeline never quiesced")
+	}
+}
+
+func (tp *topo) shutdown() {
+	tp.srv.Stop()
+	tp.srv.Sim.Run(tp.srv.Sim.Now() + sim.Time(2*sim.Second))
+	tp.cl.Shutdown()
+	tp.srv.Sim.Run(tp.srv.Sim.Now() + sim.Time(2*sim.Second))
+}
+
+// TestDigestEqualityAllModes checks the core replication invariant: at
+// quiesce, every standby's in-memory dataset image is FNV-identical to
+// the primary's, under every commit mode.
+func TestDigestEqualityAllModes(t *testing.T) {
+	for _, mode := range []repl.Mode{repl.ModeAsync, repl.ModeQuorum, repl.ModeSync} {
+		t.Run(mode.String(), func(t *testing.T) {
+			tp := build(1,
+				repl.Config{Mode: mode, Quorum: 1, Replicas: 2},
+				engine.RecoveryOptions{MaxFlushBytes: 4 << 10})
+			tp.runWorkload(16, sim.Time(2*sim.Second))
+			tp.quiesce(t)
+			if err := tp.cl.CheckDigests(); err != nil {
+				t.Fatal(err)
+			}
+			if tp.srv.Ctr.ReplShippedBatches == 0 {
+				t.Fatal("nothing shipped")
+			}
+			var applied int64
+			for _, s := range tp.cl.Standbys {
+				applied += s.Srv.Ctr.ReplAppliedTxns
+			}
+			if applied == 0 {
+				t.Fatal("no transactions applied on standbys")
+			}
+			if mode != repl.ModeAsync && tp.srv.Ctr.WaitNs[metrics.WaitReplAck] == 0 {
+				t.Fatalf("%v commits recorded no replication-ack wait", mode)
+			}
+			if tp.srv.Ctr.ReplUnackedCommits != 0 {
+				t.Fatalf("%d commits unacked on a healthy cluster", tp.srv.Ctr.ReplUnackedCommits)
+			}
+			tp.shutdown()
+		})
+	}
+}
+
+// TestReplicationDeterminism runs the identical replicated workload
+// twice and requires bit-identical outcomes.
+func TestReplicationDeterminism(t *testing.T) {
+	run := func() (digest uint64, commits, shipped int64, at sim.Time) {
+		tp := build(7,
+			repl.Config{Mode: repl.ModeSync, Replicas: 1},
+			engine.RecoveryOptions{MaxFlushBytes: 4 << 10})
+		tp.runWorkload(8, sim.Time(sim.Second))
+		tp.quiesce(t)
+		if err := tp.cl.CheckDigests(); err != nil {
+			t.Fatal(err)
+		}
+		digest = engine.DigestDB(tp.d.DB)
+		commits = tp.srv.Ctr.TxnCommits
+		shipped = tp.srv.Ctr.ReplShippedBytes
+		at = tp.srv.Sim.Now()
+		tp.shutdown()
+		return
+	}
+	d1, c1, s1, t1 := run()
+	d2, c2, s2, t2 := run()
+	if d1 != d2 || c1 != c2 || s1 != s2 || t1 != t2 {
+		t.Fatalf("replicated runs diverged: (%016x, %d commits, %d shipped, %v) vs (%016x, %d, %d, %v)",
+			d1, c1, s1, t1, d2, c2, s2, t2)
+	}
+}
+
+// TestPartitionUnackedCommits partitions the link under sync commit:
+// commits during the partition time out as durable-but-unacked, and
+// after healing the standby converges to the primary image anyway.
+func TestPartitionUnackedCommits(t *testing.T) {
+	tp := build(3,
+		repl.Config{Mode: repl.ModeSync, Replicas: 1, AckTimeout: 20 * sim.Millisecond},
+		engine.RecoveryOptions{MaxFlushBytes: 4 << 10})
+	tp.srv.Sim.Spawn("partition", func(p *sim.Proc) {
+		p.Sleep(500 * sim.Millisecond)
+		tp.cl.SetLinkDown(true)
+		p.Sleep(300 * sim.Millisecond)
+		tp.cl.SetLinkDown(false)
+	})
+	tp.runWorkload(8, sim.Time(1500*sim.Millisecond))
+	tp.quiesce(t)
+	if tp.srv.Ctr.ReplUnackedCommits == 0 {
+		t.Fatal("partition produced no unacked commits")
+	}
+	if err := tp.cl.CheckDigests(); err != nil {
+		t.Fatalf("standby diverged after heal: %v", err)
+	}
+	tp.shutdown()
+}
+
+// TestFailoverAndPITR crashes the primary mid-workload, promotes the
+// most caught-up standby, and checks the failover invariants plus an
+// exact-LSN point-in-time restore from the archive — including that a
+// destroyed segment inside the replay range surfaces ErrArchiveGap.
+func TestFailoverAndPITR(t *testing.T) {
+	tp := build(5,
+		repl.Config{
+			Mode: repl.ModeQuorum, Quorum: 1, Replicas: 2,
+			ArchiveSegBytes: 32 << 10, SnapshotEvery: 2,
+		},
+		engine.RecoveryOptions{
+			MaxFlushBytes: 4 << 10,
+			Crash:         fault.CrashPlan{Point: fault.CrashAtTime, At: 1500 * sim.Millisecond},
+		})
+	var frep *repl.FailoverReport
+	var prep *repl.PITRReport
+	var target int64
+	var pitrErr error
+	tp.srv.Sim.Spawn("failover-driver", func(p *sim.Proc) {
+		for !tp.srv.Crashed() {
+			p.Sleep(10 * sim.Millisecond)
+		}
+		frep = tp.cl.Failover(p)
+		target = tp.cl.CommitLSNNear(0.5)
+		if target == 0 {
+			pitrErr = errors.New("no durable commit to target")
+			return
+		}
+		_, prep, pitrErr = tp.cl.Arch.RecoverTo(p, tp.cl.PromotedStandby().Srv.Dev, target)
+	})
+	tp.runWorkload(16, sim.Time(3*sim.Second))
+	tp.srv.Sim.Run(tp.srv.Sim.Now() + sim.Time(600*sim.Second))
+
+	if frep == nil {
+		t.Fatal("primary never crashed / failover never ran")
+	}
+	if err := tp.cl.VerifyFailover(frep); err != nil {
+		t.Fatal(err)
+	}
+	if frep.RTO < sim.Duration(tp.cl.Cfg.FailDetect) {
+		t.Fatalf("RTO %v below the failure-detection delay %v", frep.RTO, tp.cl.Cfg.FailDetect)
+	}
+	if frep.AckedCommits == 0 {
+		t.Fatal("no commits were acknowledged before the crash")
+	}
+	if pitrErr != nil {
+		t.Fatalf("PITR failed: %v", pitrErr)
+	}
+	if err := tp.cl.Arch.VerifyPITR(prep); err != nil {
+		t.Fatal(err)
+	}
+
+	// Restores are deterministic: an uncharged re-run lands identically.
+	_, prep2, err := tp.cl.Arch.RecoverTo(nil, nil, target)
+	if err != nil {
+		t.Fatalf("repeat PITR failed: %v", err)
+	}
+	if prep2.Digest != prep.Digest || prep2.LandedLSN != prep.LandedLSN {
+		t.Fatalf("repeat PITR diverged: %016x@%d vs %016x@%d",
+			prep.Digest, prep.LandedLSN, prep2.Digest, prep2.LandedLSN)
+	}
+
+	// Destroy the archived history under the target: the restore must
+	// refuse with ErrArchiveGap rather than silently skip the hole.
+	if prep.Segments == 0 {
+		t.Fatalf("restore to LSN %d read no segments; gap check needs a replay range", target)
+	}
+	dropped := 0
+	for tp.cl.DropOldestArchiveSegment() {
+		dropped++
+	}
+	if dropped == 0 {
+		t.Fatal("no sealed segments to drop")
+	}
+	if _, _, err := tp.cl.Arch.RecoverTo(nil, nil, target); !errors.Is(err, repl.ErrArchiveGap) {
+		t.Fatalf("restore over destroyed segments returned %v, expected ErrArchiveGap", err)
+	}
+	tp.cl.Shutdown()
+	tp.srv.Sim.Run(tp.srv.Sim.Now() + sim.Time(2*sim.Second))
+}
+
+// TestStandbyCrashReship crashes a standby's log at a flush boundary
+// that straddles a commit lump (a guaranteed partially durable batch),
+// truncates it, restarts, and reconnects. The re-shipped stream must be
+// applied idempotently: the standby log stays a strict positional
+// prefix of the primary's and the images converge. This is the
+// crash-at-flush-boundary redo-idempotency case on a replica.
+func TestStandbyCrashReship(t *testing.T) {
+	tp := build(11,
+		repl.Config{Mode: repl.ModeAsync, Replicas: 1},
+		engine.RecoveryOptions{MaxFlushBytes: 4 << 10})
+	sb := tp.cl.Standbys[0]
+	crashed := false
+	lost := 0
+	tp.srv.Sim.Spawn("standby-crasher", func(p *sim.Proc) {
+		p.Sleep(500 * sim.Millisecond)
+		for p.Now() < sim.Time(1800*sim.Millisecond) {
+			if sb.Srv.Log.BoundaryStraddlesCommit() {
+				lost = sb.CrashRestart(p)
+				crashed = true
+				return
+			}
+			p.Sleep(sim.Millisecond)
+		}
+	})
+	tp.runWorkload(16, sim.Time(2*sim.Second))
+	if !crashed {
+		t.Fatal("no flush boundary ever straddled a commit on the standby")
+	}
+	if lost == 0 {
+		t.Fatal("standby crash lost no records — not a partial batch")
+	}
+	tp.quiesce(t)
+	if err := tp.cl.CheckDigests(); err != nil {
+		t.Fatalf("standby diverged after crash + re-ship: %v", err)
+	}
+	prim := tp.srv.Log.Records()
+	recs := sb.Srv.Log.Records()
+	if len(recs) == 0 || len(recs) > len(prim) {
+		t.Fatalf("standby log has %d records, primary %d", len(recs), len(prim))
+	}
+	for i, r := range recs {
+		if r.Type != prim[i].Type || r.LSN != prim[i].LSN || r.Txn != prim[i].Txn {
+			t.Fatalf("standby log diverges from primary stream at position %d: %v@%d txn %d vs %v@%d txn %d",
+				i, r.Type, r.LSN, r.Txn, prim[i].Type, prim[i].LSN, prim[i].Txn)
+		}
+	}
+	tp.shutdown()
+}
+
+// TestRouteRead checks staleness-bounded read routing: a caught-up
+// standby serves bounded reads, a lagging one does not.
+func TestRouteRead(t *testing.T) {
+	tp := build(13,
+		repl.Config{Mode: repl.ModeAsync, Replicas: 2},
+		engine.RecoveryOptions{MaxFlushBytes: 4 << 10})
+	tp.runWorkload(8, sim.Time(sim.Second))
+	tp.quiesce(t)
+	if node := tp.cl.RouteRead(0); node < 0 {
+		t.Fatal("quiesced standby rejected a zero-staleness read")
+	}
+	// Partition the link and write more: standbys now lag.
+	tp.cl.SetLinkDown(true)
+	tp.runWorkload(8, tp.srv.Sim.Now()+sim.Time(300*sim.Millisecond))
+	if node := tp.cl.RouteRead(0); node >= 0 {
+		t.Fatal("lagging standby accepted a zero-staleness read")
+	}
+	if tp.cl.RoutedReplica == 0 || tp.cl.RoutedPrimary == 0 {
+		t.Fatalf("routing tallies not maintained: replica %d primary %d",
+			tp.cl.RoutedReplica, tp.cl.RoutedPrimary)
+	}
+	tp.cl.SetLinkDown(false)
+	tp.quiesce(t)
+	tp.shutdown()
+}

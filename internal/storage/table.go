@@ -166,6 +166,64 @@ func (t *Table) InsertNominal(row []int64) int64 {
 	return nid
 }
 
+// InsertNominalReplay inserts one nominal row replaying a recorded
+// materialization decision rather than re-deriving it: a replica
+// applying a shipped WAL stream uses the primary's Materialized flag
+// (and the primary's actual row position, at) so both images place
+// actual rows identically even when commit order — the apply order —
+// differs from the primary's insertion interleaving. Columns are
+// zero-padded when a later position arrives first; the earlier insert
+// fills the hole when its commit applies. It returns the new nominal
+// row ID.
+func (t *Table) InsertNominalReplay(row []int64, materialize bool, at int64) int64 {
+	nid := t.nominalRows
+	t.nominalRows++
+	t.liveNominal++
+	if materialize {
+		for i, v := range row {
+			for int64(len(t.cols[i])) <= at {
+				t.cols[i] = append(t.cols[i], 0)
+			}
+			t.cols[i][at] = v
+		}
+	}
+	t.refreshPages()
+	return nid
+}
+
+// TableImage is a deep snapshot of a table's mutable state, sufficient
+// to restore the table to the snapshot instant (incremental-backup
+// payload for point-in-time recovery). String pools are append-only and
+// never mutated by the logged operations, so they are not captured.
+type TableImage struct {
+	NominalRows int64
+	LiveNominal int64
+	Cols        [][]int64
+}
+
+// CaptureImage deep-copies the table's mutable state.
+func (t *Table) CaptureImage() *TableImage {
+	img := &TableImage{
+		NominalRows: t.nominalRows,
+		LiveNominal: t.liveNominal,
+		Cols:        make([][]int64, len(t.cols)),
+	}
+	for i, c := range t.cols {
+		img.Cols[i] = append([]int64(nil), c...)
+	}
+	return img
+}
+
+// RestoreImage overwrites the table's mutable state from a snapshot.
+func (t *Table) RestoreImage(img *TableImage) {
+	t.nominalRows = img.NominalRows
+	t.liveNominal = img.LiveNominal
+	for i := range t.cols {
+		t.cols[i] = append(t.cols[i][:0:0], img.Cols[i]...)
+	}
+	t.refreshPages()
+}
+
 // DeleteNominal removes one nominal row. Space is not reclaimed (the page
 // extent is a high-water mark, as with ghost records awaiting cleanup).
 func (t *Table) DeleteNominal() {

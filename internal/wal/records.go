@@ -91,6 +91,19 @@ type Op struct {
 	Old  int64 // pre-image (OpSet)
 	New  int64 // post-image (OpSet)
 	Seq  int64
+
+	// Redo payload for log-shipping replication (OpInsert only; captured
+	// when Recording). Img is the inserted row image; Materialized records
+	// whether this insert crossed a K boundary and appended an actual row
+	// (Row then holds the position it was appended at), so a replica
+	// replays the primary's materialization decision and placement instead
+	// of re-deriving them from interleaving-sensitive counters; Indexed
+	// records whether index/columnstore maintenance ran before the insert
+	// completed (false for a victim killed between the nominal append and
+	// its row lock).
+	Img          []int64
+	Materialized bool
+	Indexed      bool
 }
 
 // Undo reverses the op against the in-memory table image. It is
@@ -130,6 +143,16 @@ type Record struct {
 	// (RecCLR only); analysis uses it to skip already-undone records on
 	// recovery-after-crash-in-recovery.
 	UndoOf int64
+
+	// Residue carries an aborted transaction's insert ops (RecAbort only,
+	// Recording). A rolled-back insert leaves a ghost: the nominal
+	// high-water mark stays bumped and a materialized actual row survives
+	// with its values (DeleteNominal only decrements the live count), so a
+	// replica rebuilding state purely from the committed stream would
+	// diverge from the primary image. Shipping the residue on the abort
+	// end record lets replicas reproduce the ghosts without the forward
+	// records ever entering the LSN byte space.
+	Residue []Op
 
 	// Fuzzy-checkpoint payload (RecCkptEnd only).
 	DPT []PageRecLSN
@@ -207,10 +230,19 @@ func (l *Log) NextSeq() int64 {
 
 // TruncateAtFlushed models the crash: every record past the flushed LSN
 // never reached the device and is dropped from the durable image (its
-// LSN is zeroed so stale references cannot resurrect it), and the append
-// position rewinds to the flushed LSN. It returns the number of records
-// lost.
+// LSN is zeroed so stale references cannot resurrect it). The flush
+// boundary can land mid-record; the durable image ends at the last
+// complete record and the torn bytes past it are discarded — as real
+// WALs drop a torn tail record at restart — so both the append position
+// and the flushed LSN rewind to that record's end. (Replication re-ship
+// depends on this: records re-appended after the truncation land at
+// byte-identical LSNs to the primary's.) It returns the number of
+// records lost.
 func (l *Log) TruncateAtFlushed() int {
+	if !l.Recording {
+		l.appendedLSN = l.flushedLSN
+		return 0
+	}
 	n := len(l.records)
 	keep := n
 	for keep > 0 && l.records[keep-1].LSN > l.flushedLSN {
@@ -219,7 +251,14 @@ func (l *Log) TruncateAtFlushed() int {
 	}
 	lost := n - keep
 	l.records = l.records[:keep]
-	l.appendedLSN = l.flushedLSN
+	var end int64
+	if keep > 0 {
+		end = l.records[keep-1].LSN
+	}
+	l.appendedLSN = end
+	if l.flushedLSN > end {
+		l.flushedLSN = end
+	}
 	return lost
 }
 
@@ -232,6 +271,7 @@ func (l *Log) Crash() {
 	l.stopped = true
 	l.writerIdle.WakeAll(l.sm)
 	l.commitQ.WakeAll(l.sm)
+	l.streamQ.WakeAll(l.sm)
 }
 
 // Restart clears the stop/crash flags and spawns a fresh log writer, so

@@ -162,8 +162,13 @@ func TestCrashTruncatesUnflushedRecords(t *testing.T) {
 	if recs[1].LSN != 0 || recs[2].LSN != 0 {
 		t.Fatalf("truncated records keep LSNs %d, %d; want zeroed", recs[1].LSN, recs[2].LSN)
 	}
-	if l.AppendedLSN() != 150 {
-		t.Fatalf("appended rewound to %d, want 150", l.AppendedLSN())
+	// The flush boundary (150) landed mid-record: the torn record is
+	// discarded and both LSNs rewind to the last complete record's end.
+	if l.AppendedLSN() != 100 {
+		t.Fatalf("appended rewound to %d, want 100 (last complete record)", l.AppendedLSN())
+	}
+	if l.FlushedLSN() != 100 {
+		t.Fatalf("flushed rewound to %d, want 100 (torn tail discarded)", l.FlushedLSN())
 	}
 	// Restart drains cleanly and accepts new appends.
 	l.MidFlushHook = nil

@@ -55,11 +55,13 @@ type Log struct {
 
 	writerIdle sim.WaitQueue // log writer parks here when nothing to do
 	commitQ    sim.WaitQueue // committers park here until flushedLSN advances
+	streamQ    sim.WaitQueue // stream readers park here until flushedLSN advances
 
 	flushPenaltyNs float64 // fault-injected extra latency per flush
 
-	stopped bool
-	crashed bool
+	stopped    bool
+	crashed    bool
+	writerDone bool // log-writer proc has exited (no further flush can land)
 }
 
 // New creates a log writing to dev.
@@ -69,7 +71,16 @@ func New(sm *sim.Sim, dev *iodev.Device, ctr *metrics.Counters) *Log {
 
 // Start spawns the log-writer proc.
 func (l *Log) Start() {
+	l.writerDone = false
 	l.sm.Spawn("log-writer", func(p *sim.Proc) {
+		// Stream readers treat end-of-stream as "stopped AND writer
+		// exited": a flush in flight at the stop instant still completes
+		// and advances flushedLSN, so readers must not conclude the
+		// durable stream is exhausted until no further flush can land.
+		defer func() {
+			l.writerDone = true
+			l.streamQ.WakeAll(l.sm)
+		}()
 		for !l.stopped {
 			if l.appendedLSN == l.flushedLSN {
 				l.writerIdle.Wait(p)
@@ -93,6 +104,7 @@ func (l *Log) Start() {
 			}
 			l.flushedLSN += batch
 			l.commitQ.WakeAll(l.sm)
+			l.streamQ.WakeAll(l.sm)
 		}
 	})
 }
@@ -109,11 +121,20 @@ func (l *Log) SetFlushPenalty(ns float64) {
 
 // Stop makes the log writer exit at its next wakeup and wakes parked
 // committers so they can observe the shutdown (their commits resolve as
-// ErrNotDurable instead of hanging forever).
+// ErrNotDurable instead of hanging forever). Stream readers parked in
+// StreamReader.NextBatch are woken too, but they observe end-of-stream
+// only after the writer has exited: a flush in flight at the stop
+// instant still completes and advances the flushed LSN, and readers
+// drain through it first. The durable stream is therefore frozen at the
+// flushed LSN after that final flush, deterministically — a batch whose
+// AppendBatch raced the stop is visible exactly up to the records whose
+// end byte the final flush covered, and the rest of the batch never
+// enters the stream (see StreamReader for the precise visibility rule).
 func (l *Log) Stop() {
 	l.stopped = true
 	l.writerIdle.WakeAll(l.sm)
 	l.commitQ.WakeAll(l.sm)
+	l.streamQ.WakeAll(l.sm)
 }
 
 // Append adds bytes of log records and returns the record's LSN.
