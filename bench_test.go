@@ -9,6 +9,7 @@ package repro_test
 import (
 	"fmt"
 	"runtime"
+	"strings"
 	"testing"
 
 	"repro/internal/harness"
@@ -273,6 +274,35 @@ func BenchmarkFailover(b *testing.B) {
 		c := res.Cells[0]
 		b.ReportMetric(c.Failover.RTO.Seconds()*1e3, "rto_sim_ms")
 		b.ReportMetric(c.PITR.Elapsed.Seconds()*1e3, "pitr_sim_ms")
+	}
+}
+
+// BenchmarkSelfProfile runs a TPC-H point with simulator self-profiling
+// armed and reports each phase's host overhead as wall-ms per simulated
+// second. Every metric name carries "wall", so benchjson records the
+// trajectory without ever gating on it (the ratios are runner-dependent
+// wall clock, unlike the sim-deterministic metrics above).
+func BenchmarkSelfProfile(b *testing.B) {
+	opt := benchOpts()
+	opt.Parallel = 1
+	for i := 0; i < b.N; i++ {
+		before := sim.ProfSnapshot()
+		sim.EnableProfiling()
+		harness.RunTPCH(10, opt, harness.Knobs{})
+		sim.DisableProfiling()
+		after := sim.ProfSnapshot()
+		var simNs int64
+		if len(after) > 0 {
+			simNs = after[0].SimNs - before[0].SimNs
+		}
+		if simNs <= 0 {
+			b.Fatal("self-profiling covered no simulated time")
+		}
+		for j := range after {
+			wallNs := after[j].WallNs - before[j].WallNs
+			name := strings.ReplaceAll(after[j].Name, ".", "_")
+			b.ReportMetric(float64(wallNs)/1e6/(float64(simNs)/1e9), name+"_wall_ms_per_sim_s")
+		}
 	}
 }
 

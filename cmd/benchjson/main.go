@@ -85,6 +85,11 @@ func parseBench(path string) (map[string]map[string]float64, error) {
 	return out, sc.Err()
 }
 
+// benchSchema is the snapshot schema this build reads and writes.
+// previous() rejects a directory holding mixed schema values: comparing
+// metrics recorded under different schemas gates on garbage.
+const benchSchema = "dbsense-bench/v1"
+
 // previous returns the newest committed snapshot in dir, or nil.
 func previous(dir string) (*snapshot, error) {
 	paths, err := filepath.Glob(filepath.Join(dir, "BENCH_*.json"))
@@ -92,6 +97,7 @@ func previous(dir string) (*snapshot, error) {
 		return nil, err
 	}
 	var newest *snapshot
+	newestPath := ""
 	for _, p := range paths {
 		b, err := os.ReadFile(p)
 		if err != nil {
@@ -101,9 +107,18 @@ func previous(dir string) (*snapshot, error) {
 		if err := json.Unmarshal(b, &s); err != nil {
 			return nil, fmt.Errorf("%s: %w", p, err)
 		}
+		if newest != nil && s.Schema != newest.Schema {
+			return nil, fmt.Errorf("mixed snapshot schemas: %s has %q, %s has %q — prune one generation before comparing",
+				p, s.Schema, newestPath, newest.Schema)
+		}
 		if newest == nil || s.Seq > newest.Seq {
 			newest = &s
+			newestPath = p
 		}
+	}
+	if newest != nil && newest.Schema != benchSchema {
+		return nil, fmt.Errorf("%s: snapshot schema %q does not match this build's %q",
+			newestPath, newest.Schema, benchSchema)
 	}
 	return newest, nil
 }
@@ -148,7 +163,7 @@ func main() {
 	}
 
 	cur := &snapshot{
-		Schema:     "dbsense-bench/v1",
+		Schema:     benchSchema,
 		Commit:     *commit,
 		Go:         runtime.Version(),
 		Benchmarks: benches,

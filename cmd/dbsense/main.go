@@ -30,13 +30,16 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"path/filepath"
 	"runtime"
+	"runtime/pprof"
 	"time"
 
 	"repro/internal/core"
 	"repro/internal/harness"
 	"repro/internal/metrics"
 	"repro/internal/sim"
+	"repro/internal/telemetry"
 	"repro/internal/workload/tpch"
 )
 
@@ -54,11 +57,120 @@ var (
 	emitOut  = flag.String("o", "", "structured-output path (default dbsense-out.jsonl or .csv)")
 	traceQ   = flag.Int("trace", 14, "TPC-H query number for the trace experiment")
 	rowExec  = flag.Bool("rowexec", false, "force row-at-a-time execution (default: vectorized batches)")
+
+	metricsOut = flag.String("metrics-out", "", "write end-of-run telemetry as Prometheus text exposition to this file")
+	profileDir = flag.String("profile", "", "write simulator self-profiles (pprof CPU/heap + per-subsystem overhead report) to this directory")
 )
 
 // em is the structured-record emitter (nil when -emit is unset; all
 // harness.Emit* helpers no-op on nil).
 var em *harness.Emitter
+
+// promSnap is one telemetry snapshot queued for -metrics-out exposition,
+// labelled with its experiment cell.
+type promSnap struct {
+	labels [][2]string
+	snap   *telemetry.Snapshot
+}
+
+var promSnaps []promSnap
+
+// recordProm queues a snapshot for the Prometheus exposition file (no-op
+// without -metrics-out or for cells that carried no telemetry).
+func recordProm(snap *telemetry.Snapshot, labels ...[2]string) {
+	if *metricsOut == "" || snap == nil {
+		return
+	}
+	promSnaps = append(promSnaps, promSnap{labels: labels, snap: snap})
+}
+
+// writeMetricsOut writes every queued snapshot as Prometheus text
+// exposition, one block per experiment cell distinguished by labels.
+func writeMetricsOut() {
+	if *metricsOut == "" {
+		return
+	}
+	f, err := os.Create(*metricsOut)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	for _, ps := range promSnaps {
+		if err := ps.snap.WriteProm(f, ps.labels...); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+	}
+	if err := f.Close(); err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	fmt.Fprintf(os.Stderr, "telemetry exposition written to %s\n", *metricsOut)
+}
+
+// cpuProfile is the open CPU-profile file between start and finish.
+var cpuProfile *os.File
+
+// startProfile arms simulator self-profiling and begins the host CPU
+// profile. Runs before any experiment so the whole run is covered.
+func startProfile() {
+	if *profileDir == "" {
+		return
+	}
+	if err := os.MkdirAll(*profileDir, 0o755); err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	f, err := os.Create(filepath.Join(*profileDir, "cpu.pprof"))
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	if err := pprof.StartCPUProfile(f); err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	cpuProfile = f
+	sim.EnableProfiling()
+}
+
+// finishProfile stops the CPU profile, writes the heap profile, and
+// renders the per-subsystem wall-ms-per-sim-ms overhead report to stdout
+// and DIR/overhead.txt.
+func finishProfile() {
+	if *profileDir == "" {
+		return
+	}
+	pprof.StopCPUProfile()
+	if err := cpuProfile.Close(); err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	hf, err := os.Create(filepath.Join(*profileDir, "heap.pprof"))
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	runtime.GC()
+	if err := pprof.WriteHeapProfile(hf); err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	if err := hf.Close(); err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	var ms runtime.MemStats
+	runtime.ReadMemStats(&ms)
+	report := sim.ProfReport() +
+		fmt.Sprintf("host allocations: %d objects, %.1f MB cumulative\n",
+			ms.Mallocs, float64(ms.TotalAlloc)/1e6)
+	if err := os.WriteFile(filepath.Join(*profileDir, "overhead.txt"), []byte(report), 0o644); err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	fmt.Print(report)
+}
 
 func opts() harness.Options {
 	o := harness.DefaultOptions()
@@ -68,6 +180,10 @@ func opts() harness.Options {
 	o.Seed = *seed
 	o.Parallel = *parallel
 	o.RowExec = *rowExec
+	// Structured output and Prometheus exposition both consume telemetry
+	// series, so either flag arms the registry; plain table runs stay
+	// bit-identical to a telemetry-free build.
+	o.Telemetry = *emitFmt != "" || *metricsOut != ""
 	if *progress {
 		o.Progress = printProgress
 	}
@@ -188,15 +304,18 @@ func main() {
 			fmt.Fprintf(os.Stderr, "structured records written to %s\n", path)
 		}()
 	}
+	startProfile()
 	if exp == "all" {
 		// table4 derives from fig2llc's sweep, which run("fig2llc")
 		// prints alongside the curves, so it is not repeated here.
 		for _, e := range []string{"table2", "fig2cores", "fig2llc", "table3", "fig3", "fig4", "fig5", "fig5write", "fig6", "fig7", "fig8", "trace", "qstats"} {
 			run(e)
 		}
-		return
+	} else {
+		run(exp)
 	}
-	run(exp)
+	finishProfile()
+	writeMetricsOut()
 }
 
 func run(exp string) {
@@ -460,6 +579,16 @@ func run(exp string) {
 					"unacked":       float64(p.Unacked),
 				},
 			})
+			cell := fmt.Sprintf("%s-r%d-bw%.0f", p.Mode, p.Replicas, p.BandwidthMBps)
+			harness.EmitTelemetry(em, "replication", "asdb", sf, cell, p.Telemetry)
+			for _, tr := range p.CommitSpans {
+				harness.EmitTrace(em, "replication", "asdb", sf, tr)
+			}
+			recordProm(p.Telemetry,
+				[2]string{"experiment", "replication"},
+				[2]string{"mode", p.Mode.String()},
+				[2]string{"replicas", fmt.Sprint(p.Replicas)},
+				[2]string{"bw_mbps", fmt.Sprintf("%.0f", p.BandwidthMBps)})
 		}
 		if err := res.Err(); err != nil {
 			fmt.Fprintln(os.Stderr, err)
@@ -480,6 +609,9 @@ func run(exp string) {
 				Fields: map[string]float64{
 					"commits":         float64(c.Commits),
 					"rto_ms":          c.Failover.RTO.Seconds() * 1e3,
+					"detect_ms":       c.Failover.Detect.Seconds() * 1e3,
+					"replay_ms":       c.Failover.Replay.Seconds() * 1e3,
+					"promote_ms":      c.Failover.Promote.Seconds() * 1e3,
 					"promoted":        float64(c.Failover.Promoted),
 					"primary_lsn":     float64(c.Failover.PrimaryLSN),
 					"promoted_lsn":    float64(c.Failover.PromotedLSN),
@@ -494,6 +626,9 @@ func run(exp string) {
 					"pitr_ms":         c.PITR.Elapsed.Seconds() * 1e3,
 				},
 			})
+			if c.Err == "" {
+				harness.EmitTrace(em, "failover", "asdb", sf, c.Failover.TraceTree())
+			}
 		}
 		if err := res.Err(); err != nil {
 			fmt.Fprintln(os.Stderr, err)
@@ -528,6 +663,10 @@ func run(exp string) {
 			t := harness.QueryStatsTable(res.Result.QueryStats)
 			fmt.Printf("-- query stats: %s SF %d --\n%s", res.Workload, res.SF, t.Render())
 			harness.EmitResult(em, "qstats", string(res.Workload), res.SF, "", 0, res.Result)
+			recordProm(res.Result.Telemetry,
+				[2]string{"experiment", "qstats"},
+				[2]string{"workload", string(res.Workload)},
+				[2]string{"sf", fmt.Sprint(res.SF)})
 		}
 	default:
 		fmt.Fprintf(os.Stderr, "unknown experiment %q\n", exp)

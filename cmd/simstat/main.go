@@ -2,6 +2,10 @@
 // single-thread speed, SMT interference, turbo droop, LLC miss knees
 // under CAT masks, and device bandwidth under throttles. Use it to sanity-
 // check model changes before re-running workload experiments.
+//
+// With -series FILE it instead renders the telemetry time series from a
+// dbsense -emit json run as aligned summary tables (n/min/mean/max/p99
+// plus a sparkline per series), refusing mixed-schema-version inputs.
 package main
 
 import (
@@ -15,8 +19,14 @@ import (
 	"repro/internal/sim"
 )
 
+var seriesIn = flag.String("series", "", "render telemetry series from an emitter JSONL file and exit")
+
 func main() {
 	flag.Parse()
+	if *seriesIn != "" {
+		runSeries(*seriesIn)
+		return
+	}
 	fmt.Println("machine:", hw.PaperSpec().LogicalCores(), "logical cores")
 
 	// CPU: single-thread and SMT pair.

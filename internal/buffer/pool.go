@@ -108,9 +108,25 @@ type Pool struct {
 	dirtyLast  map[pageKey]int64 // pageLSN per dirty page
 	durable    map[pageKey]int64 // LSN of the durable page image
 
+	// Telemetry counters, always maintained (plain adds on paths that
+	// already mutate pool state, so they cannot perturb simulation).
+	evictions  int64 // pages evicted by the CLOCK hand
+	ckptPages  int64 // pages written back by checkpoint rounds
+	ckptRounds int64 // completed checkpoint rounds
+
 	ckptQ   sim.WaitQueue // checkpointer parks here between rounds
 	stopped bool
 }
+
+// Evictions returns the cumulative count of pages evicted by CLOCK.
+func (p *Pool) Evictions() int64 { return p.evictions }
+
+// CheckpointPages returns the cumulative pages written by checkpoints —
+// the checkpoint-progress counter.
+func (p *Pool) CheckpointPages() int64 { return p.ckptPages }
+
+// CheckpointRounds returns the count of completed checkpoint rounds.
+func (p *Pool) CheckpointRounds() int64 { return p.ckptRounds }
 
 // pageKey names a page globally for the recovery maps.
 type pageKey struct {
@@ -412,6 +428,7 @@ func (p *Pool) makeRoom(n int64) {
 		cnt := int64(popcount(evictable))
 		fs.nResident -= cnt
 		p.resident -= cnt
+		p.evictions += cnt
 		if dirtyEvicted != 0 {
 			if p.armed {
 				for b := dirtyEvicted; b != 0; b &= b - 1 {
@@ -503,6 +520,7 @@ func (p *Pool) checkpoint(proc *sim.Proc) {
 				}
 				p.dev.Write(proc, chunkPages*storage.PageBytes)
 				written(chunkPages)
+				p.ckptPages += chunkPages
 				if p.CkptChunkHook != nil {
 					p.CkptChunkHook()
 				}
@@ -518,6 +536,7 @@ func (p *Pool) checkpoint(proc *sim.Proc) {
 			}
 			p.dev.Write(proc, pending*storage.PageBytes)
 			written(pending)
+			p.ckptPages += pending
 			if p.CkptChunkHook != nil {
 				p.CkptChunkHook()
 			}
@@ -529,6 +548,7 @@ func (p *Pool) checkpoint(proc *sim.Proc) {
 	if p.armed {
 		p.log.AppendBatch([]*wal.Record{{Type: wal.RecCkptEnd, DPT: dpt, ATT: att}})
 	}
+	p.ckptRounds++
 }
 
 // flushBeforeData enforces WAL-before-data: the log must be durable past

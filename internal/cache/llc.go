@@ -120,11 +120,17 @@ func (c *LLC) WayBytes() int64 { return c.cfg.SizeBytes / int64(c.cfg.Ways) }
 
 // AllocatedBytes returns the capacity covered by the current mask.
 func (c *LLC) AllocatedBytes() int64 {
+	return int64(c.AllocatedWays()) * c.WayBytes()
+}
+
+// AllocatedWays returns the way count in the current mask — the COS
+// (class-of-service) width, used to label per-COS telemetry series.
+func (c *LLC) AllocatedWays() int {
 	n := 0
 	for m := c.mask; m != 0; m &= m - 1 {
 		n++
 	}
-	return int64(n) * c.WayBytes()
+	return n
 }
 
 // Flush invalidates the entire cache (the paper reboots between the

@@ -12,6 +12,7 @@ import (
 	"repro/internal/metrics"
 	"repro/internal/opt"
 	"repro/internal/sim"
+	"repro/internal/telemetry"
 	"repro/internal/trace"
 	"repro/internal/txn"
 	"repro/internal/wal"
@@ -55,6 +56,13 @@ type Config struct {
 	// the vectorized batch executor; results are row-identical, and
 	// charges move to per-batch granularity (see EXPERIMENTS.md).
 	RowExec bool
+
+	// Telemetry arms the unified metric registry: every subsystem's
+	// counters/gauges/histograms sampled into time series at 1-second
+	// simulated intervals (Server.Tel). Off (the default) allocates
+	// nothing and leaves every hot-path handle nil, so runs are
+	// bit-identical to a build without telemetry at all.
+	Telemetry bool
 
 	// ReplMode selects the replication commit mode when this server is
 	// the primary of a repl.Cluster: "" or "async" (commit returns after
@@ -103,6 +111,9 @@ type Server struct {
 	// (dm_exec_query_stats). Always on: recording is a few counter adds
 	// per statement and changes no simulated behavior.
 	QStats *metrics.QueryStats
+
+	// Tel is the unified metric registry (nil unless Cfg.Telemetry).
+	Tel *telemetry.Registry
 
 	DB *Database
 
@@ -165,6 +176,10 @@ func NewServerOn(sm *sim.Sim, cfg Config) *Server {
 	s.BlkIO = cgroup.NewBlkIO(dev)
 	s.tempBase = m.ReserveRegion(8 << 30)
 	s.metaBase = m.ReserveRegion(cfg.Cost.MetaBytes + (1 << 20))
+	if cfg.Telemetry {
+		s.Tel = telemetry.NewRegistry()
+		s.registerTelemetry()
+	}
 	return s
 }
 
@@ -208,6 +223,7 @@ func (s *Server) Start() {
 	s.Log.Start()
 	s.BP.StartCheckpointer()
 	s.Smp.Start(s.Sim)
+	s.Tel.Start(s.Sim)
 }
 
 // Stop flags shutdown: background services exit at their next wakeup and
@@ -218,6 +234,7 @@ func (s *Server) Stop() {
 	s.Log.Stop()
 	s.BP.Stop()
 	s.Smp.Stop()
+	s.Tel.Stop(s.Sim.Now())
 	for _, fn := range s.stopHooks {
 		fn()
 	}

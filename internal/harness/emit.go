@@ -11,8 +11,16 @@ import (
 
 	"repro/internal/core"
 	"repro/internal/metrics"
+	"repro/internal/telemetry"
 	"repro/internal/trace"
 )
+
+// SchemaVersion identifies the emitter record schema. Every record is
+// stamped with it so mixed-version streams are detectable downstream
+// (cmd/simstat refuses to aggregate across versions). Version 1 is the
+// implicit pre-stamp schema; version 2 added the stamp itself plus the
+// telemetry "series" record kind.
+const SchemaVersion = 2
 
 // Record is one exported observation. Every figure, table, time series,
 // wait breakdown, query-stat row, and trace span flattens into this one
@@ -32,13 +40,17 @@ type Record struct {
 	Unit       string             `json:"unit,omitempty"`     // Value's unit (qps, tps, MB/s, ms, ns, frac)
 	Text       string             `json:"text,omitempty"`     // free-form cell payload (table rows)
 	Fields     map[string]float64 `json:"fields,omitempty"`   // named sub-values (query-stat and span details)
+
+	// SchemaVersion is stamped by Emit on every record (never set it at a
+	// call site); appended last so older columns keep their positions.
+	SchemaVersion int `json:"schema_version"`
 }
 
 // csvHeader is the fixed CSV column order; Fields flattens into the last
 // column as "k=v;k=v" sorted by key.
 var csvHeader = []string{
 	"record", "experiment", "workload", "sf", "metric", "name",
-	"knob", "x", "value", "unit", "text", "fields",
+	"knob", "x", "value", "unit", "text", "fields", "schema_version",
 }
 
 // Emitter writes Records as JSON Lines or CSV. Output is deterministic:
@@ -73,6 +85,7 @@ func (e *Emitter) Emit(r Record) {
 	if e == nil || e.err != nil {
 		return
 	}
+	r.SchemaVersion = SchemaVersion
 	switch e.format {
 	case "json":
 		b, err := json.Marshal(r)
@@ -86,6 +99,7 @@ func (e *Emitter) Emit(r Record) {
 		e.err = e.cw.Write([]string{
 			r.Record, r.Experiment, r.Workload, itoa(r.SF), r.Metric, r.Name,
 			r.Knob, ftoa(r.X), ftoa(r.Value), r.Unit, r.Text, flattenFields(r.Fields),
+			strconv.Itoa(r.SchemaVersion),
 		})
 	}
 }
@@ -237,6 +251,7 @@ func EmitResult(e *Emitter, experiment, workload string, sf int, knob string, x 
 	}
 	EmitWaits(e, experiment, workload, sf, knob, x, r.WaitNs)
 	EmitQueryStats(e, experiment, workload, sf, r.QueryStats)
+	EmitTelemetry(e, experiment, workload, sf, knob, r.Telemetry)
 }
 
 // EmitWaits exports a wait-class breakdown, one wait record per class
@@ -282,6 +297,39 @@ func EmitQueryStats(e *Emitter, experiment, workload string, sf int, rows []metr
 			Record: "query_stat", Experiment: experiment, Workload: workload, SF: sf,
 			Name: r.Query, Fields: f,
 		})
+	}
+}
+
+// EmitTelemetry exports a telemetry registry snapshot: one series record
+// per sample with Metric = "subsystem.name" and X = the sample's
+// simulated time in seconds, plus a summary point per histogram-backed
+// series (counts, mean, and tail quantiles in ns).
+func EmitTelemetry(e *Emitter, experiment, workload string, sf int, knob string, snap *telemetry.Snapshot) {
+	if e == nil || snap == nil {
+		return
+	}
+	for _, s := range snap.Series {
+		m := s.Subsystem + "." + s.Name
+		for _, pt := range s.Points {
+			e.Emit(Record{
+				Record: "series", Experiment: experiment, Workload: workload, SF: sf,
+				Metric: m, Name: s.Kind, Knob: knob, X: pt.At.Seconds(), Value: pt.Value, Unit: s.Unit,
+			})
+		}
+		if s.Hist != nil && s.Hist.N > 0 {
+			e.Emit(Record{
+				Record: "point", Experiment: experiment, Workload: workload, SF: sf,
+				Metric: m + "_summary", Unit: "ns",
+				Fields: map[string]float64{
+					"n":      float64(s.Hist.N),
+					"mean":   s.Hist.Mean(),
+					"p50":    s.Hist.Quantile(0.50),
+					"p95":    s.Hist.Quantile(0.95),
+					"p99":    s.Hist.Quantile(0.99),
+					"max_ns": float64(s.Hist.MaxNs),
+				},
+			})
+		}
 	}
 }
 

@@ -8,6 +8,8 @@ import (
 	"repro/internal/metrics"
 	"repro/internal/repl"
 	"repro/internal/sim"
+	"repro/internal/telemetry"
+	"repro/internal/trace"
 	"repro/internal/workload/asdb"
 	"repro/internal/workload/htap"
 	"repro/internal/workload/tpce"
@@ -94,6 +96,12 @@ type ReplicationPoint struct {
 	AppliedTxns int64
 	Unacked     int64 // commits durable locally but never acknowledged
 
+	// Telemetry is the primary's registry snapshot (engine series plus the
+	// cluster's repl series) and CommitSpans the traced commits' cross-node
+	// span trees; both nil/empty unless Options.Telemetry armed the cell.
+	Telemetry   *telemetry.Snapshot
+	CommitSpans []*trace.Trace
+
 	Err string // digest mismatch / quiesce failure
 }
 
@@ -137,7 +145,10 @@ func Replication(sf int, opt Options, modes []repl.Mode, bandwidths []float64, r
 	points := Sweep(opt.Parallel, len(cells), func(i int) ReplicationPoint {
 		c := cells[i]
 		k := Knobs{ReadLimitMBps: c.bw, WriteLimitMBps: c.bw}
-		rcfg := repl.Config{Mode: c.mode, Quorum: (c.n + 1) / 2, Replicas: c.n}
+		rcfg := repl.Config{
+			Mode: c.mode, Quorum: (c.n + 1) / 2, Replicas: c.n,
+			TraceCommits: opt.Telemetry,
+		}
 		srv, cl, d := buildReplicated(sf, opt, k, rcfg, engine.RecoveryOptions{})
 		clients := opt.Users
 		if clients <= 0 {
@@ -172,6 +183,8 @@ func Replication(sf int, opt Options, modes []repl.Mode, bandwidths []float64, r
 		if delta.TxnCommits > 0 {
 			p.CommitAckMs = float64(delta.WaitNs[metrics.WaitReplAck]) / float64(delta.TxnCommits) / 1e6
 		}
+		p.Telemetry = srv.Tel.Snapshot()
+		p.CommitSpans = cl.CommitTraces()
 		return p
 	}, opt.Progress)
 	return ReplicationResult{SF: sf, Points: points}

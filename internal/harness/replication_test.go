@@ -1,6 +1,7 @@
 package harness
 
 import (
+	"reflect"
 	"testing"
 
 	"repro/internal/repl"
@@ -49,7 +50,7 @@ func TestReplicationSweepDeterministicAcrossParallel(t *testing.T) {
 		t.Fatalf("point counts differ: %d vs %d", len(serial.Points), len(parallel.Points))
 	}
 	for i := range serial.Points {
-		if serial.Points[i] != parallel.Points[i] {
+		if !reflect.DeepEqual(serial.Points[i], parallel.Points[i]) {
 			t.Fatalf("point %d differs:\nserial:   %+v\nparallel: %+v",
 				i, serial.Points[i], parallel.Points[i])
 		}

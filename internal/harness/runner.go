@@ -11,6 +11,7 @@ import (
 	"repro/internal/fault"
 	"repro/internal/metrics"
 	"repro/internal/sim"
+	"repro/internal/telemetry"
 	"repro/internal/workload/asdb"
 	"repro/internal/workload/htap"
 	"repro/internal/workload/tpce"
@@ -62,6 +63,12 @@ type Options struct {
 	// RowExec forces row-at-a-time execution for every point (the
 	// default is the vectorized batch executor; engine.Config.RowExec).
 	RowExec bool
+
+	// Telemetry arms the engine-wide metric registry on every point
+	// (engine.Config.Telemetry): each Result carries a sampled time-series
+	// snapshot and sweep emitters export it as series records. Off, runs
+	// are bit-identical to a build without telemetry.
+	Telemetry bool
 }
 
 // DefaultOptions returns bench-scale settings.
@@ -112,6 +119,10 @@ type Result struct {
 	// QueryStats is the server's cumulative per-query-template statistics
 	// at the end of the run (sorted by template label).
 	QueryStats []metrics.QueryStatRow
+
+	// Telemetry is the registry snapshot at the end of the run (nil
+	// unless Options.Telemetry armed it).
+	Telemetry *telemetry.Snapshot
 }
 
 // server builds and configures a server for the knobs.
@@ -126,6 +137,7 @@ func newServer(opt Options, k Knobs) *engine.Server {
 	cfg.Retry = k.Retry
 	cfg.Trace = k.Trace
 	cfg.RowExec = opt.RowExec
+	cfg.Telemetry = opt.Telemetry
 	srv := engine.NewServer(cfg)
 	if k.Cores > 0 {
 		srv.CPUs.AllowN(k.Cores)
@@ -188,6 +200,7 @@ func measure(srv *engine.Server, opt Options) Result {
 	r.DRAMMBps = float64(delta.DRAMReadBytes+delta.DRAMWriteBytes) / 1e6 / secs
 	r.WaitNs = delta.WaitNs
 	r.QueryStats = srv.QStats.Snapshot()
+	r.Telemetry = srv.Tel.Snapshot()
 	for _, s := range srv.Smp.Samples[samplesBefore:] {
 		if s.At > end {
 			break

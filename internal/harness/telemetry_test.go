@@ -1,0 +1,140 @@
+package harness
+
+import (
+	"testing"
+
+	"repro/internal/repl"
+)
+
+// TestTelemetryDoesNotPerturbResults: the tentpole invariant — arming the
+// metric registry must not move a single measured number. The sampler
+// process only sleeps and reads, and every hot-path mutator is a
+// nil-receiver no-op when disarmed, so armed and off runs are
+// bit-identical on the simulated clock.
+func TestTelemetryDoesNotPerturbResults(t *testing.T) {
+	off := TestOptions()
+	armed := TestOptions()
+	armed.Telemetry = true
+	a := RunTPCH(1, off, Knobs{})
+	b := RunTPCH(1, armed, Knobs{})
+	if a.Throughput != b.Throughput || a.MPKI != b.MPKI || a.SSDReadMBps != b.SSDReadMBps {
+		t.Fatalf("telemetry changed results: %+v vs %+v", a, b)
+	}
+	if a.Telemetry != nil {
+		t.Fatal("disarmed run produced a telemetry snapshot")
+	}
+	if b.Telemetry == nil {
+		t.Fatal("armed run produced no telemetry snapshot")
+	}
+	subs := b.Telemetry.Subsystems()
+	if len(subs) < 8 {
+		t.Fatalf("only %d instrumented subsystems %v, want >= 8", len(subs), subs)
+	}
+	for _, s := range b.Telemetry.Series {
+		if len(s.Points) == 0 {
+			t.Fatalf("series %s.%s has no samples", s.Subsystem, s.Name)
+		}
+	}
+}
+
+// TestReplicationCommitSpanDecomposition: traced sync commits yield span
+// trees whose per-standby ship → replica-wal → apply phases are
+// contiguous and, together with the ack trip, sum exactly to the
+// observed commit latency.
+func TestReplicationCommitSpanDecomposition(t *testing.T) {
+	opt := TestOptions()
+	opt.Telemetry = true
+	r := Replication(1, opt, []repl.Mode{repl.ModeSync}, []float64{200}, []int{1})
+	if err := r.Err(); err != nil {
+		t.Fatal(err)
+	}
+	p := r.Points[0]
+	if len(p.CommitSpans) == 0 {
+		t.Fatal("no commit traces captured")
+	}
+	if p.Telemetry == nil {
+		t.Fatal("no telemetry snapshot on the replication point")
+	}
+	hasRepl := false
+	for _, s := range p.Telemetry.Subsystems() {
+		if s == "repl" {
+			hasRepl = true
+		}
+	}
+	if !hasRepl {
+		t.Fatalf("replication series missing from snapshot: %v", p.Telemetry.Subsystems())
+	}
+	for _, tr := range p.CommitSpans {
+		root := tr.Root
+		if root.Op != "Commit" || root.Elapsed() <= 0 {
+			t.Fatalf("bad root span: %+v", root)
+		}
+		ack := root.Children[len(root.Children)-1]
+		if ack.Op != "Ack" || ack.End != root.End {
+			t.Fatalf("ack span does not close the commit: %+v", ack)
+		}
+		// With one sync standby it alone satisfies the quorum, so its
+		// apply-end is the instant the ack trip starts and the four
+		// phases tile the root exactly.
+		decided := false
+		for _, sb := range root.Children[:len(root.Children)-1] {
+			if sb.Op != "Standby" {
+				t.Fatalf("unexpected child op %q", sb.Op)
+			}
+			if len(sb.Children) != 3 || sb.Children[0].Op != "Ship" ||
+				sb.Children[1].Op != "ReplicaWAL" || sb.Children[2].Op != "Apply" {
+				t.Fatalf("standby phases wrong: %+v", sb.Children)
+			}
+			if sb.Children[0].Start != root.Start || sb.Children[2].End != sb.End {
+				t.Fatalf("phases not anchored to the standby span: %+v", sb)
+			}
+			for i := 1; i < len(sb.Children); i++ {
+				if sb.Children[i].Start != sb.Children[i-1].End {
+					t.Fatalf("phases not contiguous: %+v then %+v", sb.Children[i-1], sb.Children[i])
+				}
+			}
+			if sb.End == ack.Start {
+				decided = true
+				sum := sb.Children[0].Elapsed() + sb.Children[1].Elapsed() +
+					sb.Children[2].Elapsed() + ack.Elapsed()
+				if sum != root.Elapsed() {
+					t.Fatalf("phases sum to %v, commit latency %v", sum, root.Elapsed())
+				}
+			}
+		}
+		if !decided {
+			t.Fatalf("no standby's apply-end coincides with the ack start: %+v", root)
+		}
+	}
+}
+
+// TestFailoverRTODecomposition: the failover report's detect/replay/
+// promote phases partition the RTO, and the span tree renders them as
+// contiguous children.
+func TestFailoverRTODecomposition(t *testing.T) {
+	opt := TestOptions()
+	r := Failover(1, opt, []repl.Mode{repl.ModeQuorum})
+	if err := r.Err(); err != nil {
+		t.Fatal(err)
+	}
+	for _, c := range r.Cells {
+		f := c.Failover
+		if f.Detect+f.Replay+f.Promote != f.RTO {
+			t.Fatalf("mode %s: detect %v + replay %v + promote %v != RTO %v",
+				c.Mode, f.Detect, f.Replay, f.Promote, f.RTO)
+		}
+		tr := f.TraceTree()
+		root := tr.Root
+		if root.Op != "Failover" || len(root.Children) != 3 {
+			t.Fatalf("bad failover tree: %+v", root)
+		}
+		if root.Children[0].Start != root.Start || root.Children[2].End != root.End {
+			t.Fatalf("phase spans not anchored: %+v", root)
+		}
+		for i := 1; i < 3; i++ {
+			if root.Children[i].Start != root.Children[i-1].End {
+				t.Fatalf("phase spans not contiguous: %+v", root)
+			}
+		}
+	}
+}

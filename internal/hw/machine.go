@@ -17,6 +17,7 @@ package hw
 
 import (
 	"fmt"
+	"time"
 
 	"repro/internal/cache"
 	"repro/internal/metrics"
@@ -244,6 +245,15 @@ func (m *Machine) Exec(p *sim.Proc, coreID int, instr int64, stallNs float64) {
 	wait := core.slot.Acquire(p)
 	metrics.ChargeWait(p, m.Ctr, metrics.WaitCPU, wait)
 
+	// Self-profile the scheduler bookkeeping on both sides of the burst
+	// sleep; parked time (slot wait, the burst itself) is never counted,
+	// so the phase measures pure simulator overhead.
+	prof := sim.Profiling()
+	var t0 time.Time
+	if prof {
+		t0 = time.Now()
+	}
+
 	siblingBusy := m.physBusy[core.Phys] > 0
 	m.physBusy[core.Phys]++
 	if m.physBusy[core.Phys] == 1 {
@@ -273,20 +283,57 @@ func (m *Machine) Exec(p *sim.Proc, coreID int, instr int64, stallNs float64) {
 		s.Cycles += cycles
 	}
 
+	if prof {
+		sim.ProfHWExec.Add(time.Since(t0), 1)
+	}
 	p.Sleep(dur)
+	if prof {
+		t0 = time.Now()
+	}
 
 	m.physBusy[core.Phys]--
 	if m.physBusy[core.Phys] == 0 {
 		m.socketActive[core.Socket]--
 	}
 	core.slot.Release(p.Sim())
+	if prof {
+		sim.ProfHWExec.Add(time.Since(t0), 0)
+	}
 }
+
+// RunQueueDepth returns the number of procs parked waiting for any
+// logical core's run slot — the scheduler's instantaneous run-queue
+// depth, summed across cores.
+func (m *Machine) RunQueueDepth() int {
+	n := 0
+	for _, c := range m.cores {
+		n += c.slot.Waiting()
+	}
+	return n
+}
+
+// BusyCores returns the number of logical cores currently executing a
+// burst; with LogicalCores it yields instantaneous core occupancy.
+func (m *Machine) BusyCores() int {
+	n := 0
+	for _, b := range m.physBusy {
+		n += b
+	}
+	return n
+}
+
+// LogicalCores returns the machine's logical core count.
+func (m *Machine) LogicalCores() int { return len(m.cores) }
 
 // chargeMisses converts cache stats into DRAM/QPI traffic and stall time.
 // mlp is the access pattern's memory-level parallelism (overlapping
 // in-flight misses): sequential scans sustain high MLP, dependent pointer
 // chases ~1.
 func (m *Machine) chargeMisses(socket int, st cache.Stats, mlp float64) float64 {
+	if sim.Profiling() {
+		t0 := time.Now()
+		defer func() { sim.ProfCharge.Add(time.Since(t0), 1) }()
+	}
 	if mlp < 1 {
 		mlp = 1
 	}
@@ -330,14 +377,30 @@ func (m *Machine) chargeMisses(socket int, st cache.Stats, mlp float64) float64 
 // socket's LLC, returning the stall time in ns to fold into Exec.
 func (m *Machine) TouchSeq(coreID int, base uint64, bytes int64, write bool, mlp float64) float64 {
 	core := m.cores[coreID]
-	st := m.llcs[core.Socket].Sequential(base, bytes, write)
+	st := m.timedAccess(core.Socket, func(l *cache.LLC) cache.Stats {
+		return l.Sequential(base, bytes, write)
+	})
 	return m.chargeMisses(core.Socket, st, mlp)
+}
+
+// timedAccess runs one LLC access batch, accruing its wall time to the
+// cache.llc self-profile phase when profiling is armed.
+func (m *Machine) timedAccess(socket int, fn func(*cache.LLC) cache.Stats) cache.Stats {
+	if !sim.Profiling() {
+		return fn(m.llcs[socket])
+	}
+	t0 := time.Now()
+	st := fn(m.llcs[socket])
+	sim.ProfCache.Add(time.Since(t0), 1)
+	return st
 }
 
 // TouchStrided charges count accesses of stride strideBytes from base.
 func (m *Machine) TouchStrided(coreID int, base uint64, count, strideBytes int64, write bool, mlp float64) float64 {
 	core := m.cores[coreID]
-	st := m.llcs[core.Socket].Strided(base, count, strideBytes, write)
+	st := m.timedAccess(core.Socket, func(l *cache.LLC) cache.Stats {
+		return l.Strided(base, count, strideBytes, write)
+	})
 	return m.chargeMisses(core.Socket, st, mlp)
 }
 
@@ -346,7 +409,9 @@ func (m *Machine) TouchStrided(coreID int, base uint64, count, strideBytes int64
 // or a Zipf-backed function for skewed access.
 func (m *Machine) TouchRandom(coreID int, base uint64, regionBytes, count int64, write bool, mlp float64, posFn func() float64) float64 {
 	core := m.cores[coreID]
-	st := m.llcs[core.Socket].Random(base, regionBytes, count, write, posFn)
+	st := m.timedAccess(core.Socket, func(l *cache.LLC) cache.Stats {
+		return l.Random(base, regionBytes, count, write, posFn)
+	})
 	return m.chargeMisses(core.Socket, st, mlp)
 }
 

@@ -126,7 +126,24 @@ type Device struct {
 	readThrottle  *Throttle
 	writeThrottle *Throttle
 
+	// Cumulative ns by which a request's throttle reservation exceeded
+	// the device's own service delay — the stall attributable purely to
+	// the cgroup-style limit rather than device saturation.
+	readThrottleWaitNs  int64
+	writeThrottleWaitNs int64
+
 	fault *Fault
+}
+
+// ThrottleWaitNs returns the cumulative read/write throttle-induced wait.
+func (d *Device) ThrottleWaitNs() (read, write int64) {
+	return d.readThrottleWaitNs, d.writeThrottleWaitNs
+}
+
+// Backlog returns how far into the future each channel is committed at
+// now — the fluid model's instantaneous queue depth, in pending time.
+func (d *Device) Backlog(now sim.Time) (read, write sim.Duration) {
+	return d.readCh.Backlog(now), d.writeCh.Backlog(now)
 }
 
 // New creates a device.
@@ -187,6 +204,7 @@ func (d *Device) ReadErr(p *sim.Proc, bytes int64) (sim.Duration, error) {
 	delay := devDone
 	if tDelay > delay {
 		delay = tDelay
+		d.readThrottleWaitNs += int64(tDelay - devDone)
 	}
 	p.Sleep(delay + sim.Duration(d.Spec.ReadLatNs))
 	d.Ctr.SSDReadBytes += bytes
@@ -250,6 +268,7 @@ func (d *Device) WriteErr(p *sim.Proc, bytes int64) (sim.Duration, error) {
 	delay := devDone
 	if tDelay > delay {
 		delay = tDelay
+		d.writeThrottleWaitNs += int64(tDelay - devDone)
 	}
 	p.Sleep(delay + sim.Duration(d.Spec.WriteLatNs))
 	d.Ctr.SSDWriteBytes += bytes

@@ -11,6 +11,7 @@ import (
 	"sort"
 
 	"repro/internal/sim"
+	"repro/internal/telemetry"
 )
 
 // WaitClass identifies a wait-statistics bucket, mirroring the wait types
@@ -306,38 +307,14 @@ func NewDistribution(values []float64) Distribution {
 }
 
 // Percentile returns the p-th percentile (p in [0,100]) by linear
-// interpolation, or 0 for an empty distribution.
+// interpolation, or 0 for an empty distribution. The math is shared with
+// the telemetry series summaries.
 func (d Distribution) Percentile(p float64) float64 {
-	n := len(d.Sorted)
-	if n == 0 {
-		return 0
-	}
-	if p <= 0 {
-		return d.Sorted[0]
-	}
-	if p >= 100 {
-		return d.Sorted[n-1]
-	}
-	pos := p / 100 * float64(n-1)
-	lo := int(pos)
-	frac := pos - float64(lo)
-	if lo+1 >= n {
-		return d.Sorted[n-1]
-	}
-	return d.Sorted[lo]*(1-frac) + d.Sorted[lo+1]*frac
+	return telemetry.PercentileSorted(d.Sorted, p)
 }
 
 // Mean returns the arithmetic mean, or 0 for an empty distribution.
-func (d Distribution) Mean() float64 {
-	if len(d.Sorted) == 0 {
-		return 0
-	}
-	sum := 0.0
-	for _, v := range d.Sorted {
-		sum += v
-	}
-	return sum / float64(len(d.Sorted))
-}
+func (d Distribution) Mean() float64 { return telemetry.MeanOf(d.Sorted) }
 
 // CDF returns (value, cumulative fraction) points suitable for plotting.
 func (d Distribution) CDF() [][2]float64 {

@@ -1,104 +1,20 @@
 package metrics
 
 import (
-	"math"
-	"math/bits"
 	"sort"
 
 	"repro/internal/sim"
+	"repro/internal/telemetry"
 )
 
 // HistBuckets is the number of log2 latency buckets: bucket i counts
 // observations in [2^(i-1), 2^i) nanoseconds (bucket 0 is [0, 1)).
-const HistBuckets = 64
+const HistBuckets = telemetry.HistBuckets
 
-// Histogram is a log2-bucketed latency histogram. Buckets double in width,
-// so it covers nanoseconds to hours in 64 fixed slots with bounded error;
-// quantiles interpolate linearly inside a bucket. The zero value is ready
-// to use, and merging is element-wise addition.
-type Histogram struct {
-	Counts [HistBuckets]int64
-	N      int64
-	SumNs  int64
-	MaxNs  int64
-}
-
-// Observe records one latency.
-func (h *Histogram) Observe(d sim.Duration) {
-	ns := int64(d)
-	if ns < 0 {
-		ns = 0
-	}
-	h.Counts[bits.Len64(uint64(ns))]++
-	h.N++
-	h.SumNs += ns
-	if ns > h.MaxNs {
-		h.MaxNs = ns
-	}
-}
-
-// Merge adds o's observations into h.
-func (h *Histogram) Merge(o Histogram) {
-	for i, c := range o.Counts {
-		h.Counts[i] += c
-	}
-	h.N += o.N
-	h.SumNs += o.SumNs
-	if o.MaxNs > h.MaxNs {
-		h.MaxNs = o.MaxNs
-	}
-}
-
-// Mean returns the mean latency in ns, or 0 when empty.
-func (h Histogram) Mean() float64 {
-	if h.N == 0 {
-		return 0
-	}
-	return float64(h.SumNs) / float64(h.N)
-}
-
-// Quantile returns the q-th quantile (q in [0,1]) in nanoseconds by linear
-// interpolation within the containing bucket, or 0 when empty. The upper
-// edge of the topmost populated bucket is clamped to the observed maximum.
-func (h Histogram) Quantile(q float64) float64 {
-	if h.N == 0 {
-		return 0
-	}
-	if q < 0 {
-		q = 0
-	}
-	if q > 1 {
-		q = 1
-	}
-	rank := q * float64(h.N)
-	cum := int64(0)
-	for i, c := range h.Counts {
-		if c == 0 {
-			continue
-		}
-		if float64(cum+c) >= rank {
-			lo, hi := bucketBounds(i)
-			if hi > float64(h.MaxNs) {
-				hi = float64(h.MaxNs)
-			}
-			if hi < lo {
-				hi = lo
-			}
-			frac := (rank - float64(cum)) / float64(c)
-			return lo + (hi-lo)*frac
-		}
-		cum += c
-	}
-	return float64(h.MaxNs)
-}
-
-// bucketBounds returns bucket i's [lo, hi) range in ns.
-func bucketBounds(i int) (lo, hi float64) {
-	if i == 0 {
-		return 0, 1
-	}
-	return math.Exp2(float64(i - 1)), math.Exp2(float64(i))
-}
+// Histogram is the shared log2-bucketed latency histogram; the canonical
+// implementation lives in internal/telemetry so query statistics and the
+// metric registry use one set of bucket/quantile math.
+type Histogram = telemetry.Histogram
 
 // QueryStatRow is one query template's cumulative execution statistics —
 // the dm_exec_query_stats analogue, extended with the wait attribution

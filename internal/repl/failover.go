@@ -5,6 +5,7 @@ import (
 
 	"repro/internal/engine"
 	"repro/internal/sim"
+	"repro/internal/trace"
 	"repro/internal/wal"
 )
 
@@ -13,6 +14,11 @@ type FailoverReport struct {
 	CrashAt    sim.Time
 	PromotedAt sim.Time
 	RTO        sim.Duration // detection + tail drain + promotion
+
+	// RTO decomposition: RTO == Detect + Replay + Promote.
+	Detect  sim.Duration // failure-detection delay
+	Replay  sim.Duration // draining/applying the shipped durable tail
+	Promote sim.Duration // promotion bookkeeping (picking + clearing state)
 
 	Promoted    int   // promoted standby index
 	PrimaryLSN  int64 // primary's durable LSN at the crash
@@ -25,9 +31,30 @@ type FailoverReport struct {
 }
 
 func (r *FailoverReport) String() string {
-	return fmt.Sprintf("failover: standby %d promoted at LSN %d/%d, RTO %.1fms, acked %d (lost %d), unreplicated commits %d",
+	return fmt.Sprintf("failover: standby %d promoted at LSN %d/%d, RTO %.1fms (detect %.1f + replay %.1f + promote %.1f), acked %d (lost %d), unreplicated commits %d",
 		r.Promoted, r.PromotedLSN, r.PrimaryLSN, float64(r.RTO)/1e6,
+		float64(r.Detect)/1e6, float64(r.Replay)/1e6, float64(r.Promote)/1e6,
 		r.AckedCommits, r.LostAckedCommits, r.LostCommits)
+}
+
+// TraceTree renders the failover as a span tree — the RTO decomposed
+// into contiguous detect → replay → promote phases — in the same shape
+// commit traces and per-operator traces use, so one exporter handles all
+// three.
+func (r *FailoverReport) TraceTree() *trace.Trace {
+	root := &trace.Span{
+		Op: "Failover", Name: fmt.Sprintf("standby-%d", r.Promoted),
+		Start: r.CrashAt, End: r.PromotedAt,
+	}
+	t := r.CrashAt
+	for _, ph := range []struct {
+		name string
+		d    sim.Duration
+	}{{"Detect", r.Detect}, {"Replay", r.Replay}, {"Promote", r.Promote}} {
+		root.Children = append(root.Children, &trace.Span{Op: ph.name, Start: t, End: t + sim.Time(ph.d)})
+		t += sim.Time(ph.d)
+	}
+	return &trace.Trace{Query: "failover", Root: root}
 }
 
 // Failover runs promotion after the primary has crashed (Server.Crash,
@@ -42,9 +69,11 @@ func (c *Cluster) Failover(p *sim.Proc) *FailoverReport {
 		crashAt = p.Now()
 	}
 	p.Sleep(c.Cfg.FailDetect)
+	detectEnd := p.Now()
 	for !c.drained() {
 		p.Sleep(sim.Millisecond)
 	}
+	replayEnd := p.Now()
 	best := 0
 	for i, s := range c.Standbys {
 		if s.appliedLSN > c.Standbys[best].appliedLSN {
@@ -61,6 +90,9 @@ func (c *Cluster) Failover(p *sim.Proc) *FailoverReport {
 		CrashAt:      crashAt,
 		PromotedAt:   p.Now(),
 		RTO:          sim.Duration(p.Now() - crashAt),
+		Detect:       sim.Duration(detectEnd - crashAt),
+		Replay:       sim.Duration(replayEnd - detectEnd),
+		Promote:      sim.Duration(p.Now() - replayEnd),
 		Promoted:     best,
 		PrimaryLSN:   c.Primary.Log.FlushedLSN(),
 		PromotedLSN:  s.appliedLSN,

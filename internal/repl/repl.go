@@ -22,6 +22,7 @@ import (
 	"repro/internal/engine"
 	"repro/internal/metrics"
 	"repro/internal/sim"
+	"repro/internal/telemetry"
 	"repro/internal/wal"
 )
 
@@ -91,6 +92,12 @@ type Config struct {
 	// FailDetect is the failure-detection delay charged before promotion
 	// begins on a primary crash (default 500ms).
 	FailDetect sim.Duration
+
+	// TraceCommits records cross-node span trees for the first commits
+	// that enter sync/quorum commit-wait (see trace.go / CommitTraces).
+	// Off by default: with it off the cluster's behavior is bit-identical
+	// to a build without tracing.
+	TraceCommits bool
 
 	// ArchiveSegBytes seals archive segments at this size; 0 disables
 	// archiving (and PITR). SnapshotEvery takes an incremental snapshot
@@ -210,6 +217,16 @@ type Cluster struct {
 
 	ackedLSNs []int64 // commit LSNs acknowledged to clients (sync/quorum)
 
+	// Commit tracing (Cfg.TraceCommits; trace.go). pendingTraces is empty
+	// whenever tracing is off, so the pipeline hooks reduce to one
+	// empty-slice check.
+	pendingTraces []*commitTrace
+	commitTraces  []*commitTrace
+
+	// ackHist, when the primary's telemetry registry is armed, observes
+	// each acknowledged sync/quorum commit's end-to-end wait.
+	ackHist *telemetry.Hist
+
 	// Read-routing tallies (RouteRead).
 	RoutedReplica int64
 	RoutedPrimary int64
@@ -229,6 +246,10 @@ func New(primary *engine.Server, cfg Config) *Cluster {
 	c := &Cluster{Primary: primary, Cfg: cfg, sm: primary.Sim, promoted: -1}
 	scfg := primary.Cfg
 	scfg.ReplMode, scfg.ReplQuorum = "", 0
+	// Standbys don't run their own registries: replication telemetry
+	// (per-standby lag, ack latency, shipped bytes) registers on the
+	// primary's registry instead, so one sampler covers the cluster.
+	scfg.Telemetry = false
 	for i := 0; i < cfg.Replicas; i++ {
 		img := cfg.NewImage()
 		srv := engine.NewServerOn(primary.Sim, scfg)
@@ -267,6 +288,7 @@ func (c *Cluster) Start() {
 		c.Arch.run()
 	}
 	c.runLagSampler()
+	c.registerTelemetry()
 	if c.Cfg.Mode != ModeAsync {
 		c.Primary.Txns.CommitWait = c.commitWait
 	}
@@ -374,6 +396,9 @@ func (c *Cluster) runShipper(s *Standby) {
 			c.Primary.Ctr.ReplShippedBatches++
 			c.Primary.Ctr.ReplShippedBytes += bytes
 			s.inbox = append(s.inbox, shipment{pos: pos, recs: batch})
+			if len(c.pendingTraces) > 0 {
+				c.traceShipped(s.idx, batch[len(batch)-1].LSN, p.Now())
+			}
 			s.inboxQ.WakeAll(c.sm)
 		}
 	})
@@ -439,6 +464,9 @@ func (c *Cluster) runApplier(s *Standby) {
 				lsns[i] = r.LSN
 			}
 			_, err := s.Srv.Log.WaitDurable(p, end)
+			if len(c.pendingTraces) > 0 {
+				c.traceDurable(s.idx, s.Srv.Log.FlushedLSN(), p.Now())
+			}
 			applyStart := p.Now()
 			txns0 := s.apply.appliedTxns
 			for i, r := range copies {
@@ -451,9 +479,19 @@ func (c *Cluster) runApplier(s *Standby) {
 				c.chargeApply(p, s, r)
 				s.apply.Apply(r)
 				s.appliedLSN = lsns[i]
+				if len(c.pendingTraces) > 0 {
+					c.traceApplied(s.idx, s.appliedLSN, p.Now())
+				}
 			}
 			s.Srv.Ctr.ReplAppliedTxns += s.apply.appliedTxns - txns0
 			metrics.ChargeWait(p, s.Srv.Ctr, metrics.WaitReplApply, sim.Duration(p.Now()-applyStart))
+			// The apply-end timestamp is taken at the same instant the ack
+			// queue is woken, so a commit whose quorum this iteration
+			// satisfies observes quorumAt == applyEnd exactly and its span
+			// phases sum to the measured commit latency.
+			if len(c.pendingTraces) > 0 {
+				c.traceApplyEnd(s.idx, s.appliedLSN, p.Now())
+			}
 			c.ackQ.WakeAll(c.sm)
 			_ = err // a stopped/crashed standby log: keep draining; reconnect or shutdown decides
 		}
@@ -519,8 +557,10 @@ func (c *Cluster) commitWait(p *sim.Proc, lsn int64) error {
 		need = c.Cfg.Quorum
 	}
 	start := p.Now()
+	ct := c.traceRegister(lsn, start)
 	deadline := start + sim.Time(c.Cfg.AckTimeout)
 	ok := false
+	var quorumAt sim.Time
 	for !c.stopped {
 		n := 0
 		for _, s := range c.Standbys {
@@ -530,6 +570,7 @@ func (c *Cluster) commitWait(p *sim.Proc, lsn int64) error {
 		}
 		if n >= need && !c.linkDown {
 			ok = true
+			quorumAt = p.Now()
 			break
 		}
 		rem := sim.Duration(deadline - p.Now())
@@ -541,12 +582,42 @@ func (c *Cluster) commitWait(p *sim.Proc, lsn int64) error {
 	if ok {
 		p.Sleep(c.Cfg.LinkLatency) // the acknowledgement's trip back
 		c.ackedLSNs = append(c.ackedLSNs, lsn)
+		c.ackHist.Observe(sim.Duration(p.Now() - start))
 	}
+	c.traceResolve(ct, quorumAt, p.Now(), ok)
 	metrics.ChargeWait(p, c.Primary.Ctr, metrics.WaitReplAck, sim.Duration(p.Now()-start))
 	if !ok {
 		return ErrNoAck
 	}
 	return nil
+}
+
+// registerTelemetry publishes the cluster's replication series on the
+// primary's registry: shipping volume, per-standby apply lag, applied
+// transactions, and acknowledged-commit latency. Registration methods
+// are no-ops on a nil registry, so an unarmed primary skips all of it.
+func (c *Cluster) registerTelemetry() {
+	r := c.Primary.Tel
+	r.CounterFunc("repl", "shipped_bytes", "B", func() float64 {
+		return float64(c.Primary.Ctr.ReplShippedBytes)
+	})
+	r.CounterFunc("repl", "shipped_batches", "ops", func() float64 {
+		return float64(c.Primary.Ctr.ReplShippedBatches)
+	})
+	c.ackHist = r.Histogram("repl", "ack_latency")
+	for i, s := range c.Standbys {
+		s := s
+		r.Gauge("repl", fmt.Sprintf("standby%d_lag_bytes", i), "B", func() float64 {
+			lag := c.Primary.Log.FlushedLSN() - s.appliedLSN
+			if lag < 0 {
+				lag = 0
+			}
+			return float64(lag)
+		})
+		r.CounterFunc("repl", fmt.Sprintf("standby%d_applied_txns", i), "ops", func() float64 {
+			return float64(s.Srv.Ctr.ReplAppliedTxns)
+		})
+	}
 }
 
 // runLagSampler spawns the lag-tracking proc: every LagInterval it

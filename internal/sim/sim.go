@@ -13,6 +13,7 @@ package sim
 import (
 	"container/heap"
 	"fmt"
+	"time"
 )
 
 // Time is an absolute simulated time in nanoseconds since simulation start.
@@ -201,6 +202,9 @@ func (p *Proc) Yield() {
 // cooperative shutdown (broadcast a stop flag and WakeAll their queues) so
 // procs unwind cleanly rather than leaking goroutines.
 func (s *Sim) Run(until Time) Time {
+	if Profiling() {
+		return s.runProfiled(until)
+	}
 	for s.events.Len() > 0 {
 		ev := heap.Pop(&s.events).(event)
 		ev.p.pending--
@@ -227,6 +231,52 @@ func (s *Sim) Run(until Time) Time {
 		s.cur = ev.p
 		ev.p.resume <- struct{}{}
 		<-s.yield
+		s.cur = nil
+	}
+	if s.now < until {
+		s.now = until
+	}
+	return s.now
+}
+
+// runProfiled is Run with wall-clock phase timers: dispatch overhead
+// (heap pops, stale-wakeup filtering, channel handoff setup) accrues to
+// sim.loop, the time between resume and yield — the proc actually
+// executing — to sim.proc. Identical simulated behavior to Run; only
+// host-side counters differ.
+func (s *Sim) runProfiled(until Time) Time {
+	start := s.now
+	t0 := time.Now()
+	defer func() {
+		ProfLoop.Add(time.Since(t0), 1)
+		profAddSim(Duration(s.now - start))
+	}()
+	for s.events.Len() > 0 {
+		ev := heap.Pop(&s.events).(event)
+		ev.p.pending--
+		if ev.p.done {
+			continue
+		}
+		if ev.epoch != ev.p.epoch {
+			continue
+		}
+		if ev.at > until {
+			s.seq++
+			heap.Push(&s.events, event{at: ev.at, seq: ev.seq, p: ev.p, epoch: ev.epoch})
+			ev.p.pending++
+			s.now = until
+			return s.now
+		}
+		s.now = ev.at
+		ev.p.waiting = false
+		ev.p.epoch++
+		s.cur = ev.p
+		pt := time.Now()
+		ev.p.resume <- struct{}{}
+		<-s.yield
+		procWall := time.Since(pt)
+		ProfProc.Add(procWall, 1)
+		ProfLoop.Add(-procWall, 0) // proc time is inside the deferred total; carve it out
 		s.cur = nil
 	}
 	if s.now < until {
@@ -357,6 +407,10 @@ func (r *Resource) Release(s *Sim) {
 
 // InUse returns the number of units currently held.
 func (r *Resource) InUse() int { return r.inUse }
+
+// Waiting returns the number of procs parked waiting for a unit — the
+// resource's instantaneous queue depth.
+func (r *Resource) Waiting() int { return r.q.Len() }
 
 // Capacity returns the current capacity.
 func (r *Resource) Capacity() int { return r.capacity }

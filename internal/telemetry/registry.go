@@ -1,0 +1,408 @@
+package telemetry
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"strconv"
+	"strings"
+
+	"repro/internal/sim"
+)
+
+// Metric kinds, as reported in snapshots and the text exposition.
+const (
+	KindCounter = "counter" // monotone total; sampled as per-interval delta
+	KindGauge   = "gauge"   // instantaneous level; sampled as-is
+	KindHist    = "hist"    // latency histogram; sampled as per-interval mean ns
+)
+
+// Point is one interval sample of a series on the simulated clock.
+type Point struct {
+	At    sim.Time // end of the sampling interval
+	Value float64
+}
+
+// Counter is a registry-owned monotone counter. The nil receiver is a
+// no-op, so subsystems embed a possibly-nil *Counter and call Add
+// unconditionally; when telemetry is off the cost is one branch.
+type Counter struct {
+	v    int64
+	prev int64
+}
+
+// Add increments the counter by n.
+func (c *Counter) Add(n int64) {
+	if c != nil {
+		c.v += n
+	}
+}
+
+// Inc increments the counter by one.
+func (c *Counter) Inc() { c.Add(1) }
+
+// Value returns the cumulative total (0 on nil).
+func (c *Counter) Value() int64 {
+	if c == nil {
+		return 0
+	}
+	return c.v
+}
+
+// Hist is a registry-owned latency histogram. Like Counter, the nil
+// receiver is a no-op so instrumented code never branches on arming.
+type Hist struct {
+	h         Histogram
+	prevN     int64
+	prevSumNs int64
+}
+
+// Observe records one latency.
+func (h *Hist) Observe(d sim.Duration) {
+	if h != nil {
+		h.h.Observe(d)
+	}
+}
+
+// Cum returns the cumulative histogram (zero value on nil).
+func (h *Hist) Cum() Histogram {
+	if h == nil {
+		return Histogram{}
+	}
+	return h.h
+}
+
+// metric is one registered series plus its sampling state.
+type metric struct {
+	subsystem string
+	name      string
+	unit      string
+	kind      string
+
+	counter   *Counter       // KindCounter with owned storage
+	counterFn func() float64 // KindCounter derived from a cumulative source
+	prevF     float64        // counterFn value at the previous sample
+	gaugeFn   func() float64 // KindGauge
+	hist      *Hist          // KindHist
+
+	// Ring buffer of interval samples.
+	buf  []Point
+	head int // next write slot once full
+	n    int
+}
+
+func (m *metric) push(pt Point) {
+	if cap(m.buf) == 0 {
+		return
+	}
+	if m.n < cap(m.buf) {
+		m.buf = append(m.buf, pt)
+		m.n++
+		return
+	}
+	m.buf[m.head] = pt
+	m.head = (m.head + 1) % len(m.buf)
+}
+
+func (m *metric) points() []Point {
+	out := make([]Point, 0, m.n)
+	if m.n < cap(m.buf) {
+		return append(out, m.buf...)
+	}
+	out = append(out, m.buf[m.head:]...)
+	return append(out, m.buf[:m.head]...)
+}
+
+// sample takes one interval reading ending at the given time.
+func (m *metric) sample(at sim.Time) {
+	var v float64
+	switch {
+	case m.counter != nil:
+		v = float64(m.counter.v - m.counter.prev)
+		m.counter.prev = m.counter.v
+	case m.counterFn != nil:
+		cur := m.counterFn()
+		v = cur - m.prevF
+		m.prevF = cur
+	case m.gaugeFn != nil:
+		v = m.gaugeFn()
+	case m.hist != nil:
+		dn := m.hist.h.N - m.hist.prevN
+		ds := m.hist.h.SumNs - m.hist.prevSumNs
+		m.hist.prevN = m.hist.h.N
+		m.hist.prevSumNs = m.hist.h.SumNs
+		if dn > 0 {
+			v = float64(ds) / float64(dn)
+		}
+	}
+	m.push(Point{At: at, Value: v})
+}
+
+// total returns the metric's end-of-run headline value: cumulative total
+// for counters, current level for gauges, cumulative mean for histograms.
+func (m *metric) total() float64 {
+	switch {
+	case m.counter != nil:
+		return float64(m.counter.v)
+	case m.counterFn != nil:
+		return m.counterFn()
+	case m.gaugeFn != nil:
+		return m.gaugeFn()
+	case m.hist != nil:
+		return m.hist.h.Mean()
+	}
+	return 0
+}
+
+// Registry holds every registered series for one simulation and samples
+// them at a fixed simulated interval from a dedicated sampler process.
+// One registry belongs to one simulation, so access is serialized by the
+// simulation kernel and needs no locking. A nil *Registry is inert:
+// every registration method returns nil/no-ops, which is how the
+// telemetry-off configuration is expressed.
+type Registry struct {
+	// Interval is the sampling period on the simulated clock.
+	Interval sim.Duration
+	// RingCap bounds each series' retained samples; older samples are
+	// overwritten ring-buffer style.
+	RingCap int
+
+	metrics []*metric
+	byName  map[string]bool
+
+	lastAt  sim.Time
+	stopped bool
+}
+
+// NewRegistry creates a registry sampling at 1 simulated second (the
+// paper's counter-collection cadence), retaining up to 512 samples per
+// series.
+func NewRegistry() *Registry {
+	return &Registry{Interval: sim.Second, RingCap: 512, byName: make(map[string]bool)}
+}
+
+func (r *Registry) register(m *metric) {
+	key := m.subsystem + "." + m.name
+	if r.byName[key] {
+		panic("telemetry: duplicate series " + key)
+	}
+	r.byName[key] = true
+	m.buf = make([]Point, 0, r.RingCap)
+	r.metrics = append(r.metrics, m)
+}
+
+// Counter registers an owned counter series, sampled as per-interval
+// deltas. Returns nil on a nil registry.
+func (r *Registry) Counter(subsystem, name, unit string) *Counter {
+	if r == nil {
+		return nil
+	}
+	c := &Counter{}
+	r.register(&metric{subsystem: subsystem, name: name, unit: unit, kind: KindCounter, counter: c})
+	return c
+}
+
+// CounterFunc registers a counter series backed by an existing cumulative
+// source (an LSN, a wait-ns total, a hit count); each sample records the
+// delta since the previous one. No-op on a nil registry.
+func (r *Registry) CounterFunc(subsystem, name, unit string, fn func() float64) {
+	if r == nil {
+		return
+	}
+	r.register(&metric{subsystem: subsystem, name: name, unit: unit, kind: KindCounter, counterFn: fn})
+}
+
+// Gauge registers an instantaneous-level series read from fn at each
+// sample. No-op on a nil registry.
+func (r *Registry) Gauge(subsystem, name, unit string, fn func() float64) {
+	if r == nil {
+		return
+	}
+	r.register(&metric{subsystem: subsystem, name: name, unit: unit, kind: KindGauge, gaugeFn: fn})
+}
+
+// Histogram registers a latency histogram series; samples record the
+// per-interval mean in ns, and the snapshot carries the full cumulative
+// histogram for quantiles. Returns nil on a nil registry.
+func (r *Registry) Histogram(subsystem, name string) *Hist {
+	if r == nil {
+		return nil
+	}
+	h := &Hist{}
+	r.register(&metric{subsystem: subsystem, name: name, unit: "ns", kind: KindHist, hist: h})
+	return h
+}
+
+// Start spawns the sampler process. Like the engine's counter sampler it
+// only sleeps and reads, so its presence cannot perturb simulated
+// results. No-op on a nil registry.
+func (r *Registry) Start(sm *sim.Sim) {
+	if r == nil {
+		return
+	}
+	sm.Spawn("telemetry-sampler", func(p *sim.Proc) {
+		for !r.stopped {
+			p.Sleep(r.Interval)
+			if r.stopped {
+				return
+			}
+			r.sampleAll(p.Now())
+		}
+	})
+}
+
+// Stop halts sampling and, if the clock moved past the last full sample,
+// takes one final partial-interval sample so trailing activity is
+// retained. Safe on a nil registry.
+func (r *Registry) Stop(now sim.Time) {
+	if r == nil || r.stopped {
+		return
+	}
+	r.stopped = true
+	if now > r.lastAt {
+		r.sampleAll(now)
+	}
+}
+
+func (r *Registry) sampleAll(at sim.Time) {
+	for _, m := range r.metrics {
+		m.sample(at)
+	}
+	r.lastAt = at
+}
+
+// SeriesData is one series' exported form.
+type SeriesData struct {
+	Subsystem string
+	Name      string
+	Unit      string
+	Kind      string
+	Points    []Point
+	Total     float64    // end-of-run headline value (see metric.total)
+	Hist      *Histogram // cumulative histogram, KindHist only
+}
+
+// Snapshot is the registry's full exported state.
+type Snapshot struct {
+	Series []SeriesData
+}
+
+// Snapshot deep-copies every series, sorted by subsystem then name, so
+// exporters iterate deterministically. Returns nil on a nil registry.
+func (r *Registry) Snapshot() *Snapshot {
+	if r == nil {
+		return nil
+	}
+	out := &Snapshot{Series: make([]SeriesData, 0, len(r.metrics))}
+	for _, m := range r.metrics {
+		sd := SeriesData{
+			Subsystem: m.subsystem,
+			Name:      m.name,
+			Unit:      m.unit,
+			Kind:      m.kind,
+			Points:    m.points(),
+			Total:     m.total(),
+		}
+		if m.hist != nil {
+			h := m.hist.h
+			sd.Hist = &h
+		}
+		out.Series = append(out.Series, sd)
+	}
+	sort.Slice(out.Series, func(i, j int) bool {
+		if out.Series[i].Subsystem != out.Series[j].Subsystem {
+			return out.Series[i].Subsystem < out.Series[j].Subsystem
+		}
+		return out.Series[i].Name < out.Series[j].Name
+	})
+	return out
+}
+
+// Subsystems returns the distinct subsystem labels in the snapshot.
+func (s *Snapshot) Subsystems() []string {
+	if s == nil {
+		return nil
+	}
+	seen := make(map[string]bool)
+	var out []string
+	for _, sd := range s.Series {
+		if !seen[sd.Subsystem] {
+			seen[sd.Subsystem] = true
+			out = append(out, sd.Subsystem)
+		}
+	}
+	sort.Strings(out)
+	return out
+}
+
+// promName converts "buffer"+"hit_ratio" to dbsense_buffer_hit_ratio.
+func promName(subsystem, name string) string {
+	s := "dbsense_" + subsystem + "_" + name
+	s = strings.Map(func(r rune) rune {
+		switch {
+		case r >= 'a' && r <= 'z', r >= 'A' && r <= 'Z', r >= '0' && r <= '9', r == '_':
+			return r
+		default:
+			return '_'
+		}
+	}, s)
+	return s
+}
+
+func promLabels(labels [][2]string) string {
+	if len(labels) == 0 {
+		return ""
+	}
+	var b strings.Builder
+	b.WriteByte('{')
+	for i, kv := range labels {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		fmt.Fprintf(&b, "%s=%q", kv[0], kv[1])
+	}
+	b.WriteByte('}')
+	return b.String()
+}
+
+func promFloat(v float64) string { return strconv.FormatFloat(v, 'g', -1, 64) }
+
+// WriteProm writes the snapshot in Prometheus text exposition format.
+// Counters export their cumulative total, gauges their last level, and
+// histograms a count/sum pair plus interpolated p50/p95/p99 quantile
+// samples. The extra labels (experiment, cell, ...) are attached to
+// every sample so multiple sweep cells can share one output file.
+func (s *Snapshot) WriteProm(w io.Writer, labels ...[2]string) error {
+	if s == nil {
+		return nil
+	}
+	ls := promLabels(labels)
+	for _, sd := range s.Series {
+		pn := promName(sd.Subsystem, sd.Name)
+		switch sd.Kind {
+		case KindHist:
+			if _, err := fmt.Fprintf(w, "# TYPE %s summary\n", pn); err != nil {
+				return err
+			}
+			h := sd.Hist
+			for _, q := range []float64{0.5, 0.95, 0.99} {
+				ql := append(append([][2]string{}, labels...), [2]string{"quantile", promFloat(q)})
+				if _, err := fmt.Fprintf(w, "%s%s %s\n", pn, promLabels(ql), promFloat(h.Quantile(q))); err != nil {
+					return err
+				}
+			}
+			if _, err := fmt.Fprintf(w, "%s_sum%s %d\n%s_count%s %d\n", pn, ls, h.SumNs, pn, ls, h.N); err != nil {
+				return err
+			}
+		case KindCounter:
+			if _, err := fmt.Fprintf(w, "# TYPE %s counter\n%s_total%s %s\n", pn, pn, ls, promFloat(sd.Total)); err != nil {
+				return err
+			}
+		default:
+			if _, err := fmt.Fprintf(w, "# TYPE %s gauge\n%s%s %s\n", pn, pn, ls, promFloat(sd.Total)); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}

@@ -16,6 +16,7 @@ import (
 	"repro/internal/iodev"
 	"repro/internal/metrics"
 	"repro/internal/sim"
+	"repro/internal/telemetry"
 )
 
 // ErrNotDurable is returned by Commit/WaitDurable when the log stops (or
@@ -47,8 +48,14 @@ type Log struct {
 	// in the log buffer only.
 	AppendGapHook func()
 
+	// FlushHist, when telemetry is armed, observes each flush's latency
+	// (device write + penalty). Nil off: Observe on the nil histogram is
+	// a no-op, so the writer loop pays one branch.
+	FlushHist *telemetry.Hist
+
 	appendedLSN int64 // bytes appended
 	flushedLSN  int64 // bytes durably written
+	flushes     int64 // completed flush I/Os
 
 	records []*Record // simulated log image (Recording only)
 	opSeq   int64     // global logical-op sequence
@@ -90,10 +97,13 @@ func (l *Log) Start() {
 			if batch > l.MaxFlushBytes {
 				batch = l.MaxFlushBytes
 			}
+			flushStart := p.Now()
 			l.dev.Write(p, batch)
 			if l.flushPenaltyNs > 0 {
 				p.Sleep(sim.Duration(l.flushPenaltyNs))
 			}
+			l.FlushHist.Observe(sim.Duration(p.Now() - flushStart))
+			l.flushes++
 			if l.MidFlushHook != nil {
 				l.MidFlushHook()
 				if l.crashed {
@@ -177,3 +187,6 @@ func (l *Log) FlushedLSN() int64 { return l.flushedLSN }
 
 // AppendedLSN returns the in-memory LSN.
 func (l *Log) AppendedLSN() int64 { return l.appendedLSN }
+
+// Flushes returns the count of completed flush I/Os.
+func (l *Log) Flushes() int64 { return l.flushes }
