@@ -277,6 +277,24 @@ func BenchmarkFailover(b *testing.B) {
 	}
 }
 
+// BenchmarkServing drives the network serving front end with open-loop
+// traffic at a fixed offered load past saturation and reports the
+// served-tail latency and shed rate. Both are simulated-time metrics,
+// so the trajectory gates on genuine admission-control or protocol
+// changes, not runner noise.
+func BenchmarkServing(b *testing.B) {
+	opt := benchOpts()
+	for i := 0; i < b.N; i++ {
+		pt := harness.ServeOnce(1000, opt, harness.Knobs{}, 32, false)
+		if pt.Accepted == 0 {
+			b.Fatal("no connections served")
+		}
+		b.ReportMetric(pt.P99Ms, "p99_sim_ms")
+		b.ReportMetric(pt.ShedRate, "shed_rate")
+		b.ReportMetric(pt.GoodputRPS, "goodput_rps")
+	}
+}
+
 // BenchmarkSelfProfile runs a TPC-H point with simulator self-profiling
 // armed and reports each phase's host overhead as wall-ms per simulated
 // second. Every metric name carries "wall", so benchjson records the

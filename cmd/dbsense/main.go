@@ -3,10 +3,18 @@
 //
 // Usage:
 //
-//	dbsense [flags] <experiment>
+//	dbsense run <experiment> [flags]   run one experiment (or "all")
+//	dbsense serve [flags]              one serving cell at -rate conn/s
+//	dbsense list                       list experiments
+//	dbsense [flags] <experiment>       deprecated flat form of "run"
+//
+// The flat form keeps working for existing scripts (a deprecation note
+// goes to stderr); flags are accepted before or after the experiment
+// name in either form.
 //
 // Experiments: table2, fig2cores, fig2llc, table3, table4, fig3, fig4,
-// fig5, fig5write, fig6, fig7, fig8, trace, qstats, replication, all.
+// fig5, fig5write, fig6, fig7, fig8, trace, qstats, serving,
+// replication, all.
 // With -faults, the resilience experiment sweeps a fault-intensity axis
 // and reports throughput retention, the recovery experiment crashes the
 // engine at seeded points, restarts it ARIES-style, and reports MTTR
@@ -57,6 +65,9 @@ var (
 	emitOut  = flag.String("o", "", "structured-output path (default dbsense-out.jsonl or .csv)")
 	traceQ   = flag.Int("trace", 14, "TPC-H query number for the trace experiment")
 	rowExec  = flag.Bool("rowexec", false, "force row-at-a-time execution (default: vectorized batches)")
+
+	servRate  = flag.Float64("rate", 16, "serve: mean connection arrivals per second")
+	servStorm = flag.Bool("storm", false, "serve: drive a 6x arrival burst through the middle of the window")
 
 	metricsOut = flag.String("metrics-out", "", "write end-of-run telemetry as Prometheus text exposition to this file")
 	profileDir = flag.String("profile", "", "write simulator self-profiles (pprof CPU/heap + per-subsystem overhead report) to this directory")
@@ -222,7 +233,31 @@ func sfsFor(w harness.Workload) []int {
 var experiments = []string{
 	"table2", "fig2cores", "fig2llc", "table3", "table4", "fig3", "fig4",
 	"fig5", "fig5write", "fig6", "fig7", "fig8", "trace", "qstats",
-	"replication", "resilience", "recovery", "failover", "all",
+	"serving", "replication", "resilience", "recovery", "failover", "all",
+}
+
+// expDesc gives each experiment a one-liner for `dbsense list`.
+var expDesc = map[string]string{
+	"table2":      "peak throughput per workload at paper scale",
+	"fig2cores":   "throughput vs logical cores, per workload and SF",
+	"fig2llc":     "throughput and MPKI vs LLC size (also derives Table 4)",
+	"table3":      "wait-type ratios across scale factors",
+	"table4":      "cache sensitivity classes (fig2llc's sweep, table only)",
+	"fig3":        "resource-demand trends along core and cache sweeps",
+	"fig4":        "bandwidth-demand distributions (SSD read/write, DRAM)",
+	"fig5":        "TPC-H QPS vs SSD read limit, against a linear model",
+	"fig5write":   "ASDB TPS vs SSD write limit",
+	"fig6":        "TPC-H per-query speedup vs MAXDOP",
+	"fig7":        "Q20 plan shapes at MAXDOP 1 vs 32",
+	"fig8":        "TPC-H speedup vs memory-grant fraction",
+	"trace":       "execution trace tree for one TPC-H query",
+	"qstats":      "per-statement execution statistics, per workload",
+	"serving":     "open-loop network serving sweep: latency/goodput/shed vs offered load",
+	"replication": "WAL log-shipping throughput and commit-ack latency (-faults not required)",
+	"resilience":  "throughput retention under fault injection (requires -faults)",
+	"recovery":    "ARIES restart MTTR and crash matrix (requires -faults)",
+	"failover":    "replica promotion RTO and PITR (requires -faults)",
+	"all":         "every non-fault experiment in sequence",
 }
 
 func knownExperiment(name string) bool {
@@ -234,6 +269,12 @@ func knownExperiment(name string) bool {
 	return false
 }
 
+func printList() {
+	for _, e := range experiments {
+		fmt.Printf("  %-11s %s\n", e, expDesc[e])
+	}
+}
+
 func usage() {
 	list := ""
 	for i, e := range experiments {
@@ -242,20 +283,67 @@ func usage() {
 		}
 		list += e
 	}
-	fmt.Fprintf(os.Stderr, "usage: dbsense [flags] <%s>\n", list)
+	fmt.Fprintf(os.Stderr, `usage:
+  dbsense run <experiment> [flags]   run one experiment
+  dbsense serve [flags]              one serving cell at -rate conn/s
+  dbsense list                       list experiments
+  dbsense [flags] <experiment>       deprecated flat form of "run"
+experiments: %s
+`, list)
 	os.Exit(2)
 }
 
-func main() {
-	flag.Parse()
-	if flag.NArg() != 1 {
-		usage()
+// parseFlags parses a subcommand's arguments, accepting flags both
+// before and after positional arguments (the standard flag package
+// stops at the first positional), and returns the positionals in
+// order.
+func parseFlags(args []string) []string {
+	var pos []string
+	flag.CommandLine.Parse(args)
+	rest := flag.Args()
+	for len(rest) > 0 {
+		pos = append(pos, rest[0])
+		flag.CommandLine.Parse(rest[1:])
+		rest = flag.Args()
 	}
-	exp := flag.Arg(0)
+	return pos
+}
+
+func main() {
+	args := os.Args[1:]
+	mode, rest := "legacy", args
+	if len(args) > 0 {
+		switch args[0] {
+		case "run", "serve", "list":
+			mode, rest = args[0], args[1:]
+		}
+	}
+	pos := parseFlags(rest)
+	var exp string
+	switch mode {
+	case "list":
+		if len(pos) != 0 {
+			usage()
+		}
+		printList()
+		return
+	case "serve":
+		if len(pos) != 0 {
+			usage()
+		}
+	default: // "run" and the legacy flat form
+		if len(pos) != 1 {
+			usage()
+		}
+		exp = pos[0]
+		if mode == "legacy" {
+			fmt.Fprintf(os.Stderr, "note: flat `dbsense [flags] <experiment>` is deprecated; use `dbsense run %s [flags]`\n", exp)
+		}
+	}
 	// Validate everything before any side effect: an unknown experiment
 	// or -emit/-workload value must not create the output file or start
 	// the default sweep.
-	if !knownExperiment(exp) {
+	if mode != "serve" && !knownExperiment(exp) {
 		fmt.Fprintf(os.Stderr, "unknown experiment %q\n", exp)
 		usage()
 	}
@@ -305,13 +393,16 @@ func main() {
 		}()
 	}
 	startProfile()
-	if exp == "all" {
+	switch {
+	case mode == "serve":
+		runServe()
+	case exp == "all":
 		// table4 derives from fig2llc's sweep, which run("fig2llc")
 		// prints alongside the curves, so it is not repeated here.
 		for _, e := range []string{"table2", "fig2cores", "fig2llc", "table3", "fig3", "fig4", "fig5", "fig5write", "fig6", "fig7", "fig8", "trace", "qstats"} {
 			run(e)
 		}
-	} else {
+	default:
 		run(exp)
 	}
 	finishProfile()
@@ -668,11 +759,65 @@ func run(exp string) {
 				[2]string{"workload", string(res.Workload)},
 				[2]string{"sf", fmt.Sprint(res.SF)})
 		}
+	case "serving":
+		res := harness.Serving(servingSF(), o, harness.Knobs{}, nil)
+		fmt.Print(res.String())
+		harness.EmitServing(em, res)
+		for _, p := range res.Points {
+			recordProm(p.Telemetry,
+				[2]string{"experiment", "serving"},
+				[2]string{"offered_rps", fmt.Sprintf("%g", p.OfferedRPS)})
+		}
+		recordProm(res.Storm.Telemetry,
+			[2]string{"experiment", "serving"},
+			[2]string{"offered_rps", "storm"})
 	default:
 		fmt.Fprintf(os.Stderr, "unknown experiment %q\n", exp)
 		os.Exit(2)
 	}
 	fmt.Println()
+}
+
+func servingSF() int {
+	if *quick {
+		return 1000
+	}
+	return 2000
+}
+
+// runServe boots the serving front end under open-loop traffic at one
+// offered load and reports the cell — the single-run counterpart of
+// `dbsense run serving`.
+func runServe() {
+	o := opts()
+	sf := servingSF()
+	fmt.Printf("== serve (density=%d, measure=%.0fs, rate=%g conn/s, storm=%v) ==\n",
+		o.Density, o.Measure.Seconds(), *servRate, *servStorm)
+	pt := harness.ServeOnce(sf, o, harness.Knobs{}, *servRate, *servStorm)
+	fmt.Printf("offered %.1f rps -> goodput %.1f rps\n", pt.OfferedRPS, pt.GoodputRPS)
+	fmt.Printf("latency p50 %.3f ms, p99 %.2f ms, p999 %.2f ms\n", pt.P50Ms, pt.P99Ms, pt.P999Ms)
+	fmt.Printf("shed %.1f%% (%d), degraded %d, refused %d, dropped %d, conns %d\n",
+		100*pt.ShedRate, pt.Shed, pt.Degraded, pt.Refused, pt.Dropped, pt.Accepted)
+	for _, m := range []struct {
+		name, unit string
+		v          float64
+	}{
+		{"goodput", "rps", pt.GoodputRPS},
+		{"p50", "ms", pt.P50Ms},
+		{"p99", "ms", pt.P99Ms},
+		{"p999", "ms", pt.P999Ms},
+		{"shed_rate", "frac", pt.ShedRate},
+		{"degraded", "requests", float64(pt.Degraded)},
+	} {
+		em.Emit(harness.Record{
+			Record: "point", Experiment: "serve", Workload: "asdb", SF: sf,
+			Metric: m.name, X: pt.OfferedRPS, Value: m.v, Unit: m.unit,
+		})
+	}
+	harness.EmitTelemetry(em, "serve", "asdb", sf, fmt.Sprintf("rate=%g", *servRate), pt.Telemetry)
+	recordProm(pt.Telemetry,
+		[2]string{"experiment", "serve"},
+		[2]string{"rate", fmt.Sprintf("%g", *servRate)})
 }
 
 // printCurves renders a family of curves via the harness report helper.

@@ -53,8 +53,10 @@ func main() {
 	}
 	var tCol, tRow sim.Duration
 	srv.Sim.Spawn("q", func(p *sim.Proc) {
-		tCol = srv.RunQuery(p, mk(true), 0, 0).Elapsed
-		tRow = srv.RunQuery(p, mk(false), 0, 0).Elapsed
+		sess := srv.Open(p)
+		defer sess.Close()
+		tCol = sess.Query(mk(true), engine.QueryOptions{}).Elapsed
+		tRow = sess.Query(mk(false), engine.QueryOptions{}).Elapsed
 	})
 	srv.Sim.Run(srv.Sim.Now() + sim.Time(3600*sim.Second))
 	fmt.Printf("  columnstore scan: %8.3f s\n", tCol.Seconds())

@@ -1,0 +1,106 @@
+// Package client is the wire client for the serving front end: it dials
+// the simulated transport, performs the protocol handshake, and issues
+// request/reply statement calls. The open-loop workload generator
+// (internal/workload/openloop) drives it; tests use it directly.
+package client
+
+import (
+	"errors"
+
+	"repro/internal/net"
+	"repro/internal/proto"
+	"repro/internal/sim"
+)
+
+// Protocol-level client errors.
+var (
+	ErrHandshake = errors.New("client: handshake rejected")
+	ErrProtocol  = errors.New("client: unexpected reply frame")
+)
+
+// Reply is the outcome of one statement call that produced a protocol
+// reply (transport failures surface as errors instead).
+type Reply struct {
+	OK   bool
+	Code proto.Code // set when !OK
+	Msg  string     // server's error message when !OK
+	Rows uint64     // set when OK
+}
+
+// Conn is an established protocol connection.
+type Conn struct {
+	c      *net.Conn
+	nextID uint64
+}
+
+// Dial connects to addr and completes the Hello/HelloAck handshake.
+func Dial(p *sim.Proc, nw *net.Network, addr, name string) (*Conn, error) {
+	c, err := nw.Dial(p, addr)
+	if err != nil {
+		return nil, err
+	}
+	if err := c.Send(p, proto.EncodeHello(proto.Hello{
+		Magic: proto.Magic, Version: proto.Version, Client: name,
+	})); err != nil {
+		c.Close()
+		return nil, err
+	}
+	buf, err := c.Recv(p)
+	if err != nil {
+		c.Close()
+		return nil, err
+	}
+	fr, _, derr := proto.Decode(buf)
+	if derr != nil || fr.Kind != proto.KHelloAck {
+		c.Close()
+		return nil, ErrHandshake
+	}
+	return &Conn{c: c, nextID: 1}, nil
+}
+
+// Exec runs the named OLTP statement with the given argument.
+func (cl *Conn) Exec(p *sim.Proc, name string, arg uint64) (Reply, error) {
+	return cl.call(p, proto.KExec, name, arg)
+}
+
+// Query runs the named analytical statement with the given argument.
+func (cl *Conn) Query(p *sim.Proc, name string, arg uint64) (Reply, error) {
+	return cl.call(p, proto.KQuery, name, arg)
+}
+
+func (cl *Conn) call(p *sim.Proc, kind proto.Kind, name string, arg uint64) (Reply, error) {
+	id := cl.nextID
+	cl.nextID++
+	if err := cl.c.Send(p, proto.EncodeRequest(kind, id, proto.Request{Name: name, Arg: arg})); err != nil {
+		return Reply{}, err
+	}
+	buf, err := cl.c.Recv(p)
+	if err != nil {
+		return Reply{}, err
+	}
+	fr, _, derr := proto.Decode(buf)
+	if derr != nil || fr.ID != id {
+		return Reply{}, ErrProtocol
+	}
+	switch fr.Kind {
+	case proto.KResult:
+		res, rerr := proto.DecodeResult(fr.Payload)
+		if rerr != nil {
+			return Reply{}, ErrProtocol
+		}
+		return Reply{OK: true, Rows: res.Rows}, nil
+	case proto.KError:
+		code, msg, rerr := proto.DecodeError(fr.Payload)
+		if rerr != nil {
+			return Reply{}, ErrProtocol
+		}
+		return Reply{Code: code, Msg: msg}, nil
+	}
+	return Reply{}, ErrProtocol
+}
+
+// Close sends an orderly Goodbye and tears the connection down.
+func (cl *Conn) Close(p *sim.Proc) {
+	cl.c.Send(p, proto.EncodeGoodbye())
+	cl.c.Close()
+}

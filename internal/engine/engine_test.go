@@ -47,7 +47,7 @@ func TestServerOLTPRoundTrip(t *testing.T) {
 	done := 0
 	for u := 0; u < users; u++ {
 		s.Sim.Spawn("user", func(p *sim.Proc) {
-			sess := s.NewSession(p)
+			sess := s.Open(p).BindCtx()
 			for i := 0; i < 20; i++ {
 				tx := sess.Begin()
 				nid := sess.Ctx.RNG.Int64n(acct.NominalRows())
@@ -105,7 +105,7 @@ func TestServerAnalyticalQuery(t *testing.T) {
 	}
 	var res QueryResult
 	s.Sim.Spawn("analyst", func(p *sim.Proc) {
-		res = s.RunQuery(p, q, 0, 0)
+		res = s.runQuery(p, q, 0, 0, s.Cfg.StmtTimeout)
 	})
 	s.Sim.Run(sim.Time(60 * sim.Second))
 	s.Stop()
@@ -174,7 +174,7 @@ func TestWorkspaceSemaphoreQueuesGrants(t *testing.T) {
 	done := 0
 	for i := 0; i < 3; i++ {
 		s.Sim.Spawn("q", func(p *sim.Proc) {
-			s.RunQuery(p, mkQuery(), 0, 0.75)
+			s.runQuery(p, mkQuery(), 0, 0.75, s.Cfg.StmtTimeout)
 			done++
 		})
 	}
@@ -211,7 +211,7 @@ func TestHugeGrantClampedAndCompletes(t *testing.T) {
 	s.workspace = 1 << 20
 	done := false
 	s.Sim.Spawn("q", func(p *sim.Proc) {
-		s.RunQuery(p, q, 0, 4.0)
+		s.runQuery(p, q, 0, 4.0, s.Cfg.StmtTimeout)
 		done = true
 	})
 	s.Sim.Run(sim.Time(600 * sim.Second))
@@ -282,7 +282,7 @@ func TestRunQueryCanceledAtShutdown(t *testing.T) {
 	var res QueryResult
 	returned := false
 	s.Sim.Spawn("q", func(p *sim.Proc) {
-		res = s.RunQuery(p, bigGrantQuery(db), 0, 0.75)
+		res = s.runQuery(p, bigGrantQuery(db), 0, 0.75, s.Cfg.StmtTimeout)
 		returned = true
 	})
 	s.Sim.Run(sim.Time(sim.Second))
@@ -328,7 +328,7 @@ func TestDeadlineDegradesGrantThenSucceeds(t *testing.T) {
 	})
 	var res QueryResult
 	s.Sim.Spawn("q", func(p *sim.Proc) {
-		res = s.RunQuery(p, bigGrantQuery(db), 0, 0.75)
+		res = s.runQuery(p, bigGrantQuery(db), 0, 0.75, s.Cfg.StmtTimeout)
 	})
 	s.Sim.Run(sim.Time(60 * sim.Second))
 	if res.Err != nil {
@@ -356,7 +356,7 @@ func TestDeadlineKillsStarvedGrant(t *testing.T) {
 	})
 	var res QueryResult
 	s.Sim.Spawn("q", func(p *sim.Proc) {
-		res = s.RunQuery(p, bigGrantQuery(db), 0, 0.75)
+		res = s.runQuery(p, bigGrantQuery(db), 0, 0.75, s.Cfg.StmtTimeout)
 	})
 	s.Sim.Run(sim.Time(60 * sim.Second))
 	if res.Err == nil || res.Err.Kind != ErrDeadline {
@@ -388,7 +388,7 @@ func TestDeadlineKillsExecution(t *testing.T) {
 	s.Start()
 	var res QueryResult
 	s.Sim.Spawn("q", func(p *sim.Proc) {
-		res = s.RunQuery(p, bigGrantQuery(db), 0, 0)
+		res = s.runQuery(p, bigGrantQuery(db), 0, 0, s.Cfg.StmtTimeout)
 	})
 	s.Sim.Run(sim.Time(60 * sim.Second))
 	if res.Err == nil || res.Err.Kind != ErrDeadline {

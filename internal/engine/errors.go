@@ -16,6 +16,7 @@ const (
 	ErrIO                            // transient device error exhausted its retries
 	ErrVictim                        // chosen as a lock-wait victim
 	ErrNotDurable                    // log stopped/crashed before the commit record flushed
+	ErrOverloaded                    // admission control shed the request (run queue full)
 )
 
 // String returns a short name for the kind.
@@ -31,6 +32,8 @@ func (k ErrKind) String() string {
 		return "victim"
 	case ErrNotDurable:
 		return "not-durable"
+	case ErrOverloaded:
+		return "overloaded"
 	default:
 		return fmt.Sprintf("errkind(%d)", int(k))
 	}

@@ -28,7 +28,7 @@ func TestCrashRecoveryRoundTrip(t *testing.T) {
 	pk := db.Index("pk_account")
 	for u := 0; u < 8; u++ {
 		s.Sim.Spawn("user", func(p *sim.Proc) {
-			sess := s.NewSession(p)
+			sess := s.Open(p).BindCtx()
 			for !s.Crashed() {
 				tx := sess.Begin()
 				nid := sess.Ctx.RNG.Int64n(acct.NominalRows())

@@ -125,7 +125,10 @@ type Server struct {
 	faultReserve int64 // workspace stolen by fault injection (grant starvation)
 	grantQ       sim.WaitQueue
 
-	nextCore  int
+	nextCore   int
+	sessOpened int64 // cumulative Open count
+	sessActive int64 // currently open sessions
+
 	stopped   bool
 	cleanStop bool
 	stopHooks []func()
@@ -431,21 +434,23 @@ type QueryResult struct {
 	Trace *trace.Trace
 }
 
-// RunQuery optimizes and executes a logical query on the session proc.
+// runQuery optimizes and executes a logical query on the session proc —
+// the execution core behind Session.Query, which is the public surface.
 // maxdopHint mirrors the MAXDOP query hint (0 = server setting); grantPct
 // overrides the per-query grant cap when > 0 (the paper's Section 8
-// query-memory-limit knob).
+// query-memory-limit knob); timeout is the statement deadline (sessions
+// pass their own, defaulted from Cfg.StmtTimeout).
 //
-// With Cfg.StmtTimeout set, the statement runs under a deadline: a query
+// With a timeout set, the statement runs under a deadline: a query
 // still waiting for its memory grant halfway to the deadline is
 // re-planned at half the DOP and a quarter of the grant (degrading
 // gracefully under sustained pressure instead of queueing forever); one
 // that cannot start or finish by the deadline fails with ErrDeadline.
-func (s *Server) RunQuery(p *sim.Proc, q *opt.LNode, maxdopHint int, grantPct float64) (res QueryResult) {
+func (s *Server) runQuery(p *sim.Proc, q *opt.LNode, maxdopHint int, grantPct float64, timeout sim.Duration) (res QueryResult) {
 	start := p.Now()
 	var deadline sim.Time
-	if s.Cfg.StmtTimeout > 0 {
-		deadline = start + sim.Time(s.Cfg.StmtTimeout)
+	if timeout > 0 {
+		deadline = start + sim.Time(timeout)
 	}
 	dop := s.EffectiveDop(maxdopHint)
 	pl := s.Planner(dop)

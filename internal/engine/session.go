@@ -4,26 +4,151 @@ import (
 	"repro/internal/access"
 	"repro/internal/btree"
 	"repro/internal/lock"
+	"repro/internal/metrics"
+	"repro/internal/opt"
 	"repro/internal/sim"
 	"repro/internal/storage"
 	"repro/internal/txn"
 	"repro/internal/wal"
 )
 
-// Session is one client connection: a proc with an execution context
-// bound to a scheduler (logical core), issuing transactions through the
-// engine's OLTP primitives.
+// Session is the engine's single request entrypoint: one client
+// connection — an in-process workload driver or a network front-end
+// handler — issuing transactional statements (Begin/Read/Update/.../
+// Commit, or whole transactions via Exec) and analytical queries
+// (Query) on its proc. The session carries the connection-scoped
+// context that used to live in every driver: the retry policy, the
+// statement deadline, and the attribution hookup that charges waits and
+// I/O to the running statement.
+//
+// Transport-agnostic by construction: the harness drivers and the
+// internal/serve network workers go through exactly this surface, so a
+// request behaves identically whether it arrived in-process or over the
+// simulated wire.
 type Session struct {
 	S   *Server
 	P   *sim.Proc
-	Ctx *access.Ctx
+	Ctx *access.Ctx // OLTP execution context; nil until BindCtx
 
-	err *QueryError // first statement failure since the last TakeErr
+	// Retry is the session's statement/transaction retry policy,
+	// initialized from Config.Retry at Open.
+	Retry RetryPolicy
+
+	// Timeout is the statement deadline applied to analytical queries,
+	// initialized from Config.StmtTimeout at Open (0 = none). A session
+	// may tighten or loosen it without affecting other connections.
+	Timeout sim.Duration
+
+	err    *QueryError // first statement failure since the last TakeErr
+	closed bool
 }
 
-// NewSession creates a session for the proc.
-func (s *Server) NewSession(p *sim.Proc) *Session {
-	return &Session{S: s, P: p, Ctx: s.NewCtx(p)}
+// Open opens a session for the proc. Opening is free: the OLTP
+// execution context (scheduler core, buffer handles, a forked RNG
+// stream) binds separately via BindCtx, so query-only sessions never
+// consume a per-connection random stream.
+func (s *Server) Open(p *sim.Proc) *Session {
+	s.sessOpened++
+	s.sessActive++
+	return &Session{S: s, P: p, Retry: s.Cfg.Retry, Timeout: s.Cfg.StmtTimeout}
+}
+
+// BindCtx binds the session's OLTP execution context — what a connected
+// client's login does. Closed-loop OLTP drivers bind at open time so
+// the per-connection RNG stream is drawn from the root at the same
+// position as in earlier revisions (fork order determines every
+// downstream stream); it returns the session for chaining.
+func (sess *Session) BindCtx() *Session {
+	if sess.Ctx == nil {
+		sess.Ctx = sess.S.NewCtx(sess.P)
+	}
+	return sess
+}
+
+// Close releases the session. Statement results remain valid; the
+// session must not issue further statements.
+func (sess *Session) Close() {
+	if !sess.closed {
+		sess.closed = true
+		sess.S.sessActive--
+	}
+}
+
+// QueryOptions tunes one analytical statement.
+type QueryOptions struct {
+	// MaxDOP mirrors the MAXDOP query hint (0 = server setting).
+	MaxDOP int
+	// GrantPct overrides the per-query grant cap when > 0 (the paper's
+	// Section 8 query-memory-limit knob).
+	GrantPct float64
+	// G supplies the backoff-jitter stream for bounded retries of
+	// retryable failures under the session's Retry policy. nil runs the
+	// statement exactly once (how single-shot experiments pin timing).
+	G *sim.RNG
+}
+
+// Query optimizes and executes a logical query on the session proc,
+// retrying retryable failures with backoff when o.G is set and the
+// session's Retry policy is enabled. Shutdown cancellation is terminal.
+func (sess *Session) Query(q *opt.LNode, o QueryOptions) QueryResult {
+	s, p := sess.S, sess.P
+	res := s.runQuery(p, q, o.MaxDOP, o.GrantPct, sess.Timeout)
+	if res.Err != nil && o.G != nil && sess.Retry.Enabled() {
+		pol := sess.Retry
+		for attempt := 1; attempt < pol.MaxAttempts &&
+			res.Err != nil && res.Err.Retryable() && !s.Stopped(); attempt++ {
+			s.Ctr.QueryRetries++
+			s.QStats.AddRetry(q.Label)
+			pol.Sleep(p, o.G, attempt)
+			res = s.runQuery(p, q, o.MaxDOP, o.GrantPct, sess.Timeout)
+		}
+	}
+	return res
+}
+
+// Exec runs one whole transaction (fn) as a labeled statement: a fresh
+// counter set is attached for the duration so waits, buffer traffic and
+// I/O attribute to it, the attempt is folded into the server's
+// per-template query statistics under label, and transient aborts
+// (victim, IO) are retried with backoff under the session's Retry
+// policy using g for jitter. It reports whether the transaction
+// ultimately committed; the caller can distinguish "failed with retries
+// disabled" via sess.Retry.Enabled().
+func (sess *Session) Exec(label string, g *sim.RNG, fn func() bool) bool {
+	s, p := sess.S, sess.P
+	run := func() bool {
+		t0 := p.Now()
+		stmt := &metrics.Counters{}
+		prev := p.Attr()
+		p.SetAttr(stmt)
+		ok := fn()
+		p.SetAttr(prev)
+		s.QStats.Record(label, metrics.Exec{
+			Elapsed: sim.Duration(p.Now() - t0),
+			Failed:  !ok,
+			Stmt:    stmt,
+		})
+		return ok
+	}
+	ok := run()
+	pol := sess.Retry
+	if !ok && pol.Enabled() {
+		// Bounded retry with backoff for transient aborts (victim, IO);
+		// shutdown and not-durable commits are terminal.
+		for attempt := 1; attempt < pol.MaxAttempts && !s.Stopped(); attempt++ {
+			if qe := sess.TakeErr(); qe != nil && !qe.Retryable() {
+				break
+			}
+			s.Ctr.TxnRetries++
+			s.QStats.AddRetry(label)
+			pol.Sleep(p, g, attempt)
+			if ok = run(); ok {
+				break
+			}
+		}
+		sess.TakeErr()
+	}
+	return ok
 }
 
 // setErr latches the first failure of the current transaction.

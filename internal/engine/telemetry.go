@@ -90,6 +90,10 @@ func (s *Server) registerTelemetry() {
 	})
 	r.CounterFunc("lock", "timeouts", "ops", func() float64 { return float64(s.Locks.Timeouts) })
 
+	// Sessions: currently open connections and cumulative opens.
+	r.Gauge("session", "active", "sessions", func() float64 { return float64(s.sessActive) })
+	r.CounterFunc("session", "opened", "sessions", func() float64 { return float64(s.sessOpened) })
+
 	// Transactions: commit/abort rates.
 	r.CounterFunc("txn", "commits", "ops", func() float64 { return float64(s.Ctr.TxnCommits) })
 	r.CounterFunc("txn", "aborts", "ops", func() float64 { return float64(s.Ctr.TxnAborts) })

@@ -34,7 +34,9 @@ func TraceTPCH(sf, qn int, opt Options) TraceResult {
 	var res engine.QueryResult
 	done := false
 	srv.Sim.Spawn("trace-query", func(p *sim.Proc) {
-		res = srv.RunQuery(p, d.Query(qn, g), 0, 0)
+		sess := srv.Open(p)
+		defer sess.Close()
+		res = sess.Query(d.Query(qn, g), engine.QueryOptions{})
 		done = true
 	})
 	for hop := 0; hop < 10000 && !done; hop++ {

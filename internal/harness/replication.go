@@ -397,7 +397,12 @@ func ReplicatedHTAP(customers int, opt Options, k Knobs, rcfg repl.Config) HTAPR
 				s := cl.Standbys[node]
 				tsrv, td = s.Srv, byDB[s.DB]
 			}
-			if res := tsrv.RunQuery(p, td.AnalyticalQuery(qn, g), 0, 0); res.Err == nil {
+			// The read may route to a standby: open the session on
+			// whichever server serves it (opening is free — no RNG draw).
+			sess := tsrv.Open(p)
+			res := sess.Query(td.AnalyticalQuery(qn, g), engine.QueryOptions{})
+			sess.Close()
+			if res.Err == nil {
 				passes++
 			}
 		}

@@ -1,0 +1,249 @@
+// Package net models a TCP-style transport on the simulated clock,
+// reusing the fluid-link machinery the replication log shipper uses
+// (internal/repl): a server NIC as one ingress and one egress
+// sim.FluidServer shared by every connection (so fan-in contention is
+// real), per-frame one-way latency, and a bounded accept backlog whose
+// overflow refuses new connections — the first admission-control line
+// of the serving front end.
+//
+// Everything runs in simulated time on sim procs; there are no real
+// sockets. Determinism follows from the simulator's lockstep execution.
+package net
+
+import (
+	"errors"
+
+	"repro/internal/sim"
+)
+
+// Typed transport errors.
+var (
+	ErrNoListener     = errors.New("net: connection refused (no listener)")
+	ErrRefused        = errors.New("net: connection refused (accept backlog full)")
+	ErrListenerClosed = errors.New("net: listener closed")
+	ErrClosed         = errors.New("net: connection closed")
+)
+
+// Config sizes the simulated transport.
+type Config struct {
+	LinkMBps      float64      // per-direction NIC bandwidth (default 1000)
+	Latency       sim.Duration // one-way frame latency (default 100µs)
+	AcceptBacklog int          // pending-connection bound per listener (default 64)
+}
+
+func (c Config) withDefaults() Config {
+	if c.LinkMBps <= 0 {
+		c.LinkMBps = 1000
+	}
+	if c.Latency <= 0 {
+		c.Latency = 100 * sim.Microsecond
+	}
+	if c.AcceptBacklog <= 0 {
+		c.AcceptBacklog = 64
+	}
+	return c
+}
+
+// Network is one simulated network segment: clients dial listeners by
+// address through a shared pair of directional links.
+type Network struct {
+	Sm  *sim.Sim
+	Cfg Config
+
+	ingress *sim.FluidServer // client → server direction
+	egress  *sim.FluidServer // server → client direction
+
+	listeners map[string]*Listener
+
+	// Refused counts dials rejected for a full accept backlog;
+	// NoListener counts dials to closed or absent addresses.
+	Refused    int64
+	NoListener int64
+}
+
+// New builds a network on the simulation.
+func New(sm *sim.Sim, cfg Config) *Network {
+	cfg = cfg.withDefaults()
+	return &Network{
+		Sm:        sm,
+		Cfg:       cfg,
+		ingress:   sim.NewFluidServer(cfg.LinkMBps * 1e6),
+		egress:    sim.NewFluidServer(cfg.LinkMBps * 1e6),
+		listeners: make(map[string]*Listener),
+	}
+}
+
+// Listen binds a listener to addr.
+func (n *Network) Listen(addr string) (*Listener, error) {
+	if _, ok := n.listeners[addr]; ok {
+		return nil, errors.New("net: address in use: " + addr)
+	}
+	l := &Listener{nw: n, addr: addr}
+	n.listeners[addr] = l
+	return l, nil
+}
+
+// Dial opens a connection to addr from proc p, charging the SYN/SYN-ACK
+// round trip. A full accept backlog refuses the connection (counted on
+// the network), mirroring a saturated listen(2) queue.
+func (n *Network) Dial(p *sim.Proc, addr string) (*Conn, error) {
+	p.Sleep(n.Cfg.Latency) // SYN travels to the server
+	l := n.listeners[addr]
+	if l == nil || l.closed {
+		n.NoListener++
+		p.Sleep(n.Cfg.Latency) // RST back
+		return nil, ErrNoListener
+	}
+	if len(l.backlog) >= n.Cfg.AcceptBacklog {
+		n.Refused++
+		l.Refused++
+		p.Sleep(n.Cfg.Latency) // RST back
+		return nil, ErrRefused
+	}
+	client := &Conn{nw: n, out: n.ingress}
+	server := &Conn{nw: n, out: n.egress}
+	client.peer, server.peer = server, client
+	l.backlog = append(l.backlog, server)
+	l.waiters.WakeAll(n.Sm)
+	p.Sleep(n.Cfg.Latency) // SYN-ACK travels back
+	return client, nil
+}
+
+// Listener accepts inbound connections on an address.
+type Listener struct {
+	nw      *Network
+	addr    string
+	backlog []*Conn
+	waiters sim.WaitQueue
+	closed  bool
+
+	Accepted int64
+	Refused  int64
+}
+
+// Accept blocks p until a pending connection is available or the
+// listener closes (ErrListenerClosed).
+func (l *Listener) Accept(p *sim.Proc) (*Conn, error) {
+	for len(l.backlog) == 0 && !l.closed {
+		l.waiters.Wait(p)
+	}
+	if len(l.backlog) == 0 {
+		return nil, ErrListenerClosed
+	}
+	c := l.backlog[0]
+	l.backlog = l.backlog[1:]
+	l.Accepted++
+	return c, nil
+}
+
+// Close unbinds the listener, wakes blocked acceptors, and resets every
+// connection still waiting in the backlog (their clients observe
+// ErrClosed, as after a RST).
+func (l *Listener) Close() {
+	if l.closed {
+		return
+	}
+	l.closed = true
+	delete(l.nw.listeners, l.addr)
+	for _, c := range l.backlog {
+		c.Close()
+	}
+	l.backlog = nil
+	l.waiters.WakeAll(l.nw.Sm)
+}
+
+// Depth returns the current accept-backlog depth.
+func (l *Listener) Depth() int { return len(l.backlog) }
+
+// Conn is one endpoint of an established connection.
+type Conn struct {
+	nw     *Network
+	peer   *Conn
+	out    *sim.FluidServer // directional link this endpoint transmits on
+	inbox  [][]byte
+	rq     sim.WaitQueue
+	closed bool
+	failed error // typed error delivered to pending/future Recv calls
+}
+
+// Send transmits one encoded frame: bandwidth on this direction's
+// shared link, then one-way latency, then delivery to the peer's inbox.
+// Sending on or to a closed connection returns ErrClosed.
+func (c *Conn) Send(p *sim.Proc, frame []byte) error {
+	if c.closed {
+		return ErrClosed
+	}
+	c.out.Serve(p, float64(len(frame)))
+	p.Sleep(c.nw.Cfg.Latency)
+	if c.peer.closed {
+		return ErrClosed
+	}
+	c.peer.deliver(frame)
+	return nil
+}
+
+// Deliver places a frame directly in the peer's inbox with no bandwidth
+// or latency charge — the control-plane path for shutdown/teardown
+// notifications issued from outside any proc (e.g. Server.Stop draining
+// an admission queue), where parking to charge a link is impossible.
+// Data-plane traffic must use Send.
+func (c *Conn) Deliver(frame []byte) {
+	if c.closed || c.peer.closed {
+		return
+	}
+	c.peer.deliver(frame)
+}
+
+func (c *Conn) deliver(frame []byte) {
+	c.inbox = append(c.inbox, frame)
+	c.rq.WakeAll(c.nw.Sm)
+}
+
+// Recv blocks p until a frame arrives, draining buffered frames first.
+// After the inbox drains it returns the peer's close (ErrClosed) or the
+// typed error installed by Fail.
+func (c *Conn) Recv(p *sim.Proc) ([]byte, error) {
+	for len(c.inbox) == 0 && !c.closed && c.failed == nil && !c.peer.closed {
+		c.rq.Wait(p)
+	}
+	if len(c.inbox) > 0 {
+		f := c.inbox[0]
+		c.inbox = c.inbox[1:]
+		return f, nil
+	}
+	if c.failed != nil {
+		return nil, c.failed
+	}
+	return nil, ErrClosed
+}
+
+// Close tears down both endpoints and wakes blocked receivers; buffered
+// frames on either side remain readable before the close is observed.
+func (c *Conn) Close() {
+	if c.closed {
+		return
+	}
+	c.closed = true
+	c.rq.WakeAll(c.nw.Sm)
+	if c.peer != nil && !c.peer.closed {
+		c.peer.closed = true
+		c.peer.rq.WakeAll(c.nw.Sm)
+	}
+}
+
+// Fail installs a typed error on the PEER endpoint and closes the
+// connection: the peer's pending and future Recv calls return err once
+// their inbox drains. This is how the serving layer wakes sessions
+// parked on a reply when the server stops mid-request.
+func (c *Conn) Fail(err error) {
+	if c.closed {
+		return
+	}
+	if c.peer != nil {
+		c.peer.failed = err
+	}
+	c.Close()
+}
+
+// Closed reports whether the endpoint is closed.
+func (c *Conn) Closed() bool { return c.closed }

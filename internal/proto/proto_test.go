@@ -1,0 +1,177 @@
+package proto
+
+import (
+	"bytes"
+	"encoding/binary"
+	"testing"
+
+	"repro/internal/sim"
+)
+
+func TestFrameRoundTrip(t *testing.T) {
+	for _, f := range []Frame{
+		{Kind: KHello},
+		{Kind: KHelloAck, ID: 0},
+		{Kind: KExec, ID: 7, Payload: []byte("payload")},
+		{Kind: KQuery, ID: 1 << 40, Payload: bytes.Repeat([]byte{0xAB}, 4096)},
+		{Kind: KResult, ID: 3, Payload: nil},
+		{Kind: KGoodbye},
+	} {
+		buf := Encode(f)
+		got, n, err := Decode(buf)
+		if err != nil {
+			t.Fatalf("%v: decode: %v", f.Kind, err)
+		}
+		if n != len(buf) {
+			t.Fatalf("%v: consumed %d of %d", f.Kind, n, len(buf))
+		}
+		if got.Kind != f.Kind || got.ID != f.ID || !bytes.Equal(got.Payload, f.Payload) {
+			t.Fatalf("%v: round trip mismatch: %+v", f.Kind, got)
+		}
+	}
+}
+
+func TestDecodeFromStreamConsumesExactly(t *testing.T) {
+	// Two frames back to back with trailing garbage: Decode must consume
+	// exactly one frame at a time.
+	buf := append(Encode(Frame{Kind: KExec, ID: 1, Payload: []byte("a")}),
+		Encode(Frame{Kind: KResult, ID: 1, Payload: []byte("bbbb")})...)
+	buf = append(buf, 0xFF, 0xFF) // stream residue (start of a next length)
+	f1, n1, err := Decode(buf)
+	if err != nil || f1.Kind != KExec {
+		t.Fatalf("first: %v %v", f1, err)
+	}
+	f2, n2, err := Decode(buf[n1:])
+	if err != nil || f2.Kind != KResult {
+		t.Fatalf("second: %v %v", f2, err)
+	}
+	if _, _, err := Decode(buf[n1+n2:]); err != ErrTruncated {
+		t.Fatalf("residue: err = %v, want ErrTruncated", err)
+	}
+}
+
+func TestDecodeTruncated(t *testing.T) {
+	full := Encode(Frame{Kind: KQuery, ID: 9, Payload: []byte("select")})
+	for cut := 0; cut < len(full); cut++ {
+		if _, _, err := Decode(full[:cut]); err != ErrTruncated {
+			t.Fatalf("cut=%d: err = %v, want ErrTruncated", cut, err)
+		}
+	}
+}
+
+func TestDecodeOversized(t *testing.T) {
+	var hdr [4]byte
+	binary.LittleEndian.PutUint32(hdr[:], MaxFrameBytes+1)
+	if _, _, err := Decode(hdr[:]); err != ErrTooLarge {
+		t.Fatalf("err = %v, want ErrTooLarge", err)
+	}
+	// Exactly at the cap is accepted (given enough bytes follow).
+	big := Encode(Frame{Kind: KExec, Payload: make([]byte, MaxFrameBytes-9)})
+	if _, _, err := Decode(big); err != nil {
+		t.Fatalf("at-cap frame rejected: %v", err)
+	}
+}
+
+func TestDecodeBadFrame(t *testing.T) {
+	// Length too small to hold kind+id.
+	var hdr [12]byte
+	binary.LittleEndian.PutUint32(hdr[:], 4)
+	if _, _, err := Decode(hdr[:]); err != ErrBadFrame {
+		t.Fatalf("short length: err = %v, want ErrBadFrame", err)
+	}
+	// Unknown kind byte.
+	buf := Encode(Frame{Kind: KExec, ID: 1})
+	buf[4] = 0xEE
+	if _, _, err := Decode(buf); err != ErrBadFrame {
+		t.Fatalf("bad kind: err = %v, want ErrBadFrame", err)
+	}
+}
+
+func TestHandshakeRoundTripAndMismatch(t *testing.T) {
+	buf := EncodeHello(Hello{Magic: Magic, Version: Version, Client: "openloop-7"})
+	f, _, err := Decode(buf)
+	if err != nil || f.Kind != KHello {
+		t.Fatalf("decode: %v %v", f, err)
+	}
+	h, err := DecodeHello(f.Payload)
+	if err != nil {
+		t.Fatalf("hello: %v", err)
+	}
+	if h.Client != "openloop-7" {
+		t.Fatalf("client = %q", h.Client)
+	}
+
+	for _, bad := range []Hello{
+		{Magic: Magic + 1, Version: Version},
+		{Magic: Magic, Version: Version + 1},
+	} {
+		f, _, _ := Decode(EncodeHello(bad))
+		if _, err := DecodeHello(f.Payload); err != ErrHandshake {
+			t.Fatalf("%+v: err = %v, want ErrHandshake", bad, err)
+		}
+	}
+}
+
+func TestRequestResultErrorRoundTrip(t *testing.T) {
+	f, _, _ := Decode(EncodeRequest(KExec, 12, Request{Name: "asdb.PointRead", Arg: 99}))
+	r, err := DecodeRequest(f.Payload)
+	if err != nil || r.Name != "asdb.PointRead" || r.Arg != 99 || f.ID != 12 {
+		t.Fatalf("request: %+v %v", r, err)
+	}
+	f, _, _ = Decode(EncodeResult(12, Result{Rows: 451}))
+	res, err := DecodeResult(f.Payload)
+	if err != nil || res.Rows != 451 {
+		t.Fatalf("result: %+v %v", res, err)
+	}
+	f, _, _ = Decode(EncodeError(12, CodeOverloaded, "run queue full"))
+	code, msg, err := DecodeError(f.Payload)
+	if err != nil || code != CodeOverloaded || msg != "run queue full" {
+		t.Fatalf("error: %v %q %v", code, msg, err)
+	}
+}
+
+// TestDecodeNeverPanicsOnRandomBytes is a seeded pseudo-fuzz pass: the
+// decoder must classify arbitrary byte soup as one of its typed errors
+// (or decode a valid frame) without panicking or over-reading.
+func TestDecodeNeverPanicsOnRandomBytes(t *testing.T) {
+	g := sim.NewRNG(1234)
+	for trial := 0; trial < 20000; trial++ {
+		n := int(g.Int64n(64))
+		buf := make([]byte, n)
+		for i := range buf {
+			buf[i] = byte(g.Int64n(256))
+		}
+		f, consumed, err := Decode(buf)
+		if err == nil {
+			if consumed > len(buf) {
+				t.Fatalf("consumed %d > len %d", consumed, len(buf))
+			}
+			if f.Kind < KHello || f.Kind > KGoodbye {
+				t.Fatalf("accepted bad kind %d", f.Kind)
+			}
+			// Payload decoders must not panic either.
+			_, _ = DecodeRequest(f.Payload)
+			_, _ = DecodeResult(f.Payload)
+			_, _, _ = DecodeError(f.Payload)
+			_, _ = DecodeHello(f.Payload)
+		}
+	}
+}
+
+func FuzzDecode(f *testing.F) {
+	f.Add(Encode(Frame{Kind: KExec, ID: 5, Payload: []byte("seed")}))
+	f.Add(EncodeHello(Hello{Magic: Magic, Version: Version, Client: "fuzz"}))
+	f.Add([]byte{0xFF, 0xFF, 0xFF, 0xFF})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		fr, consumed, err := Decode(data)
+		if err == nil {
+			if consumed > len(data) {
+				t.Fatalf("consumed %d > len %d", consumed, len(data))
+			}
+			_, _ = DecodeRequest(fr.Payload)
+			_, _ = DecodeResult(fr.Payload)
+			_, _, _ = DecodeError(fr.Payload)
+			_, _ = DecodeHello(fr.Payload)
+		}
+	})
+}

@@ -1,0 +1,214 @@
+package serve
+
+import (
+	"testing"
+
+	"repro/internal/client"
+	"repro/internal/engine"
+	"repro/internal/proto"
+	"repro/internal/sim"
+	"repro/internal/workload/asdb"
+)
+
+func boot(t *testing.T, cfg Config) (*engine.Server, *Frontend) {
+	t.Helper()
+	ecfg := engine.DefaultConfig()
+	ecfg.Seed = 1
+	srv := engine.NewServer(ecfg)
+	d := asdb.Build(asdb.Config{SF: 4, ActualRowsPerSF: 4, Seed: 1})
+	srv.AttachDB(d.DB)
+	srv.WarmBufferPool()
+	srv.Start()
+	f := New(srv, d, cfg)
+	if err := f.Start(); err != nil {
+		t.Fatal(err)
+	}
+	return srv, f
+}
+
+func TestServeRoundTrip(t *testing.T) {
+	srv, f := boot(t, Config{Workers: 2})
+	var exec, query client.Reply
+	srv.Sim.Spawn("client", func(p *sim.Proc) {
+		cl, err := client.Dial(p, f.Net, "db", "test")
+		if err != nil {
+			t.Errorf("dial: %v", err)
+			return
+		}
+		if exec, err = cl.Exec(p, "asdb.PointRead", 17); err != nil {
+			t.Errorf("exec: %v", err)
+		}
+		if query, err = cl.Query(p, "asdb.SumBig", 3); err != nil {
+			t.Errorf("query: %v", err)
+		}
+		cl.Close(p)
+	})
+	srv.Sim.Run(sim.Time(60 * sim.Second))
+	if !exec.OK || exec.Rows != 1 {
+		t.Fatalf("exec reply = %+v", exec)
+	}
+	if !query.OK || query.Rows == 0 {
+		t.Fatalf("query reply = %+v", query)
+	}
+	if f.Ctr.Served != 2 || f.Ctr.Accepted != 1 {
+		t.Fatalf("counters = %+v", f.Ctr)
+	}
+	srv.Stop()
+	srv.Sim.Run(srv.Sim.Now() + sim.Time(60*sim.Second))
+}
+
+func TestUnknownStatementRejected(t *testing.T) {
+	srv, f := boot(t, Config{Workers: 1})
+	var rep client.Reply
+	srv.Sim.Spawn("client", func(p *sim.Proc) {
+		cl, err := client.Dial(p, f.Net, "db", "test")
+		if err != nil {
+			t.Errorf("dial: %v", err)
+			return
+		}
+		rep, err = cl.Exec(p, "asdb.NoSuchOp", 0)
+		if err != nil {
+			t.Errorf("call: %v", err)
+		}
+		cl.Close(p)
+	})
+	srv.Sim.Run(sim.Time(60 * sim.Second))
+	if rep.OK || rep.Code != proto.CodeBadRequest {
+		t.Fatalf("reply = %+v", rep)
+	}
+	srv.Stop()
+	srv.Sim.Run(srv.Sim.Now() + sim.Time(60*sim.Second))
+}
+
+// TestOverloadShedsPastRunQueue pins admission control: with one worker
+// and a tiny run queue, a burst of concurrent requests is shed with
+// CodeOverloaded instead of queueing without bound.
+func TestOverloadShedsPastRunQueue(t *testing.T) {
+	srv, f := boot(t, Config{Workers: 1, RunQueue: 2, DegradeDepth: 2})
+	shed, served := 0, 0
+	for i := 0; i < 16; i++ {
+		srv.Sim.Spawn("client", func(p *sim.Proc) {
+			cl, err := client.Dial(p, f.Net, "db", "burst")
+			if err != nil {
+				return
+			}
+			rep, err := cl.Exec(p, "asdb.Update", uint64(p.Now()))
+			if err == nil {
+				if rep.OK {
+					served++
+				} else if rep.Code == proto.CodeOverloaded {
+					shed++
+				}
+			}
+			cl.Close(p)
+		})
+	}
+	srv.Sim.Run(sim.Time(120 * sim.Second))
+	if shed == 0 {
+		t.Fatalf("no requests shed: served=%d shed=%d ctr=%+v", served, shed, f.Ctr)
+	}
+	if served == 0 {
+		t.Fatalf("no requests served under burst: ctr=%+v", f.Ctr)
+	}
+	if int(f.Ctr.Shed) != shed {
+		t.Fatalf("Ctr.Shed = %d, clients saw %d", f.Ctr.Shed, shed)
+	}
+	srv.Stop()
+	srv.Sim.Run(srv.Sim.Now() + sim.Time(120*sim.Second))
+}
+
+// TestDegradeBeforeShed pins the middle admission tier: queries admitted
+// past DegradeDepth run degraded (half DOP, quarter grant) but still
+// succeed.
+func TestDegradeBeforeShed(t *testing.T) {
+	srv, f := boot(t, Config{Workers: 1, RunQueue: 16, DegradeDepth: 1})
+	ok := 0
+	for i := 0; i < 6; i++ {
+		srv.Sim.Spawn("client", func(p *sim.Proc) {
+			cl, err := client.Dial(p, f.Net, "db", "dash")
+			if err != nil {
+				return
+			}
+			rep, err := cl.Query(p, "asdb.SumBig", 2)
+			if err == nil && rep.OK {
+				ok++
+			}
+			cl.Close(p)
+		})
+	}
+	srv.Sim.Run(sim.Time(300 * sim.Second))
+	if ok != 6 {
+		t.Fatalf("ok = %d of 6, ctr=%+v", ok, f.Ctr)
+	}
+	if f.Ctr.Degraded == 0 {
+		t.Fatalf("no degraded queries: ctr=%+v", f.Ctr)
+	}
+	srv.Stop()
+	srv.Sim.Run(srv.Sim.Now() + sim.Time(120*sim.Second))
+}
+
+// TestStopUnderStorm is the regression for Server.Stop during an
+// in-flight admission wait: requests sitting in the run queue when the
+// server stops must be answered with CodeShutdown (not abandoned), every
+// client loop must terminate, and the queue must drain to zero.
+func TestStopUnderStorm(t *testing.T) {
+	srv, f := boot(t, Config{Workers: 1, RunQueue: 64, DegradeDepth: 64})
+	const clients = 24
+	done := 0
+	sawShutdown := 0
+	for i := 0; i < clients; i++ {
+		srv.Sim.Spawn("client", func(p *sim.Proc) {
+			defer func() { done++ }()
+			cl, err := client.Dial(p, f.Net, "db", "storm")
+			if err != nil {
+				return
+			}
+			defer cl.Close(p)
+			for seq := uint64(0); ; seq++ {
+				rep, err := cl.Exec(p, "asdb.PointRead", seq)
+				if err != nil {
+					return // connection torn down by Stop
+				}
+				if !rep.OK {
+					if rep.Code == proto.CodeShutdown {
+						sawShutdown++
+					}
+					return
+				}
+			}
+		})
+	}
+	// Let the storm build a queue, then stop the server harness-style:
+	// from outside any proc, mid-wait.
+	srv.Sim.Run(sim.Time(2 * sim.Second))
+	if f.QueueDepth() == 0 {
+		t.Fatalf("storm never built a run queue; widen it")
+	}
+	queued := f.QueueDepth()
+	srv.Stop()
+	if f.QueueDepth() != 0 {
+		t.Fatalf("run queue not drained by Stop: depth=%d", f.QueueDepth())
+	}
+	if int(f.Ctr.Shutdown) < queued {
+		t.Fatalf("Shutdown replies %d < %d queued at stop", f.Ctr.Shutdown, queued)
+	}
+	// Drain: every client proc must observe shutdown and exit.
+	srv.Sim.Run(srv.Sim.Now() + sim.Time(600*sim.Second))
+	if done != clients {
+		t.Fatalf("only %d of %d clients terminated after Stop", done, clients)
+	}
+	if sawShutdown == 0 {
+		t.Fatalf("no client observed a CodeShutdown reply (queued=%d, ctr=%+v)", queued, f.Ctr)
+	}
+}
+
+// TestStopIsIdempotent guards the double-stop path (engine Stop hook plus
+// an explicit front-end Stop).
+func TestStopIsIdempotent(t *testing.T) {
+	srv, f := boot(t, Config{})
+	srv.Sim.Run(sim.Time(sim.Second))
+	f.Stop()
+	srv.Stop() // runs f.Stop again via the stop hook
+	f.Stop()
+	srv.Sim.Run(srv.Sim.Now() + sim.Time(60*sim.Second))
+}

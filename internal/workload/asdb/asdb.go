@@ -14,9 +14,7 @@ import (
 	"fmt"
 
 	"repro/internal/access"
-	"repro/internal/btree"
 	"repro/internal/engine"
-	"repro/internal/metrics"
 	"repro/internal/sim"
 	"repro/internal/storage"
 )
@@ -152,57 +150,35 @@ type client struct {
 	zBig *sim.Zipf
 }
 
-func (c *client) key(t *storage.Table, nid int64) btree.Key {
-	return btree.Key{t.Get(t.ToActual(nid), 0)}
-}
+// The statement bodies live in serving.go so the network catalog can run
+// them too; the closed-loop methods only pick the keys. Begin draws no
+// randomness, so hoisting the key draw above it preserves the driver's
+// RNG stream exactly.
 
 func (c *client) pointRead() bool {
-	tx := c.sess.Begin()
-	nid := c.zBig.Next(c.g)
-	c.sess.Read(tx, c.d.PKBig, c.key(c.d.Big, nid), nid)
-	return c.sess.Commit(tx)
+	return c.d.PointReadAt(c.sess, c.zBig.Next(c.g))
 }
 
 func (c *client) rangeRead() bool {
-	tx := c.sess.Begin()
-	nid := c.g.Int64n(c.d.Small.NominalRows())
-	c.sess.ReadRange(tx, c.d.PKSmall, c.key(c.d.Small, nid), nid, 50)
-	return c.sess.Commit(tx)
+	return c.d.RangeReadAt(c.sess, c.g.Int64n(c.d.Small.NominalRows()))
 }
 
 func (c *client) joinRead() bool {
-	tx := c.sess.Begin()
 	fid := c.g.Int64n(c.d.Fixed.NominalRows())
-	c.sess.Read(tx, c.d.PKFixed, c.key(c.d.Fixed, fid), fid)
 	nid := c.zBig.Next(c.g)
-	c.sess.Read(tx, c.d.PKBig, c.key(c.d.Big, nid), nid)
-	return c.sess.Commit(tx)
+	return c.d.JoinReadAt(c.sess, fid, nid)
 }
 
 func (c *client) update() bool {
-	tx := c.sess.Begin()
-	nid := c.zBig.Next(c.g)
-	t := c.d.Big
-	c.sess.Update(tx, c.d.PKBig, c.key(t, nid), nid, func(w *engine.RowWriter) {
-		w.Add(1, 1)
-	})
-	return c.sess.Commit(tx)
+	return c.d.UpdateAt(c.sess, c.zBig.Next(c.g))
 }
 
 func (c *client) insert() bool {
-	tx := c.sess.Begin()
-	id := c.d.Growing.NominalRows()
-	c.sess.Insert(tx, c.d.Growing, c.d.row(9, id),
-		[]*access.BTIndex{c.d.PKGrowing, c.d.IXGrowing}, nil)
-	return c.sess.Commit(tx)
+	return c.d.InsertRow(c.sess)
 }
 
 func (c *client) del() bool {
-	tx := c.sess.Begin()
-	n := c.d.Growing.NominalRows()
-	nid := c.g.Int64n(n)
-	c.sess.Delete(tx, c.d.PKGrowing, c.key(c.d.Growing, nid), nid)
-	return c.sess.Commit(tx)
+	return c.d.DeleteAt(c.sess, c.g.Int64n(c.d.Growing.NominalRows()))
 }
 
 // RunClients spawns the closed-loop client threads (the paper uses 128)
@@ -228,54 +204,28 @@ func RunClients(srv *engine.Server, d *Dataset, clients int, mix Mix, until sim.
 	for _, e := range entries {
 		totalW += e.w
 	}
-	pol := srv.Cfg.Retry
 	for i := 0; i < clients; i++ {
 		srv.Sim.Spawn("asdb-client", func(p *sim.Proc) {
 			c := &client{
 				d:    d,
-				sess: srv.NewSession(p),
+				sess: srv.Open(p).BindCtx(),
 				g:    srv.Sim.RNG().Fork(),
 				zBig: sim.NewZipf(d.Big.NominalRows(), 0.6),
 			}
-			// run executes one attempt with per-statement counters attached
-			// and folds it into the server's query stats ("asdb.<OpName>").
-			run := func(e entry) bool {
-				t0 := p.Now()
-				stmt := &metrics.Counters{}
-				prev := p.Attr()
-				p.SetAttr(stmt)
-				ok := e.fn(c)
-				p.SetAttr(prev)
-				srv.QStats.Record("asdb."+e.name, metrics.Exec{
-					Elapsed: sim.Duration(p.Now() - t0),
-					Failed:  !ok,
-					Stmt:    stmt,
-				})
-				return ok
-			}
+			defer c.sess.Close()
 			for !srv.Stopped() && p.Now() < until {
 				pick := c.g.Float64() * totalW
 				for _, e := range entries {
 					pick -= e.w
 					if pick <= 0 {
-						ok := run(e)
-						if !ok && pol.Enabled() {
-							for attempt := 1; attempt < pol.MaxAttempts && !srv.Stopped(); attempt++ {
-								if qe := c.sess.TakeErr(); qe != nil && !qe.Retryable() {
-									break
-								}
-								srv.Ctr.TxnRetries++
-								srv.QStats.AddRetry("asdb." + e.name)
-								pol.Sleep(p, c.g, attempt)
-								if ok = run(e); ok {
-									break
-								}
-							}
-							c.sess.TakeErr()
-						}
+						// Exec attaches per-attempt statement counters,
+						// folds the attempt into the server's query stats
+						// ("asdb.<OpName>"), and retries transient aborts
+						// under the session policy.
+						ok := c.sess.Exec("asdb."+e.name, c.g, func() bool { return e.fn(c) })
 						// Without a retry policy, count every attempt as
 						// the pre-retry driver did (aborts included).
-						if ok || !pol.Enabled() {
+						if ok || !c.sess.Retry.Enabled() {
 							st.ByType[e.name]++
 							st.Total++
 						}

@@ -39,21 +39,12 @@ type Stats struct {
 // QPH from the engine counters.
 func Run(srv *engine.Server, d *tpce.Dataset, oltpUsers int, until sim.Time, st *Stats) {
 	tpce.RunUsers(srv, d, oltpUsers, tpce.DefaultMix(), until, &st.OLTP)
-	pol := srv.Cfg.Retry
 	srv.Sim.Spawn("htap-analyst", func(p *sim.Proc) {
+		sess := srv.Open(p)
+		defer sess.Close()
 		g := srv.Sim.RNG().Fork()
 		for qn := 0; !srv.Stopped() && p.Now() < until; qn++ {
-			q := d.AnalyticalQuery(qn, g)
-			res := srv.RunQuery(p, q, 0, 0)
-			if res.Err != nil && pol.Enabled() {
-				for attempt := 1; attempt < pol.MaxAttempts &&
-					res.Err != nil && res.Err.Retryable() && !srv.Stopped(); attempt++ {
-					srv.Ctr.QueryRetries++
-					srv.QStats.AddRetry(q.Label)
-					pol.Sleep(p, g, attempt)
-					res = srv.RunQuery(p, q, 0, 0)
-				}
-			}
+			res := sess.Query(d.AnalyticalQuery(qn, g), engine.QueryOptions{G: g})
 			if res.Err == nil {
 				st.DSSPasses++
 			}

@@ -1,0 +1,102 @@
+package openloop
+
+import (
+	"reflect"
+	"testing"
+
+	"repro/internal/sim"
+)
+
+func plan(seed int64, cfg Config) *Plan {
+	return Build(cfg, sim.NewRNG(seed))
+}
+
+// TestBuildIsDeterministic pins the generator's core contract: the plan
+// is a pure function of (Config, seed).
+func TestBuildIsDeterministic(t *testing.T) {
+	cfg := Config{
+		Rate: 200, Horizon: 5 * sim.Second, QueryFrac: 0.05,
+		Storm: &Storm{At: 2 * sim.Second, Dur: sim.Second, X: 4},
+	}
+	a, b := plan(7, cfg), plan(7, cfg)
+	if !reflect.DeepEqual(a, b) {
+		t.Fatal("same seed produced different plans")
+	}
+	c := plan(8, cfg)
+	if reflect.DeepEqual(a.Conns, c.Conns) {
+		t.Fatal("different seeds produced identical plans")
+	}
+}
+
+func TestArrivalsRespectHorizonAndOrder(t *testing.T) {
+	pl := plan(1, Config{Rate: 500, Horizon: 4 * sim.Second})
+	if len(pl.Conns) == 0 {
+		t.Fatal("no arrivals generated")
+	}
+	var prev sim.Time
+	for _, c := range pl.Conns {
+		if c.At < prev {
+			t.Fatalf("arrivals out of order: %v after %v", c.At, prev)
+		}
+		if c.At >= sim.Time(4*sim.Second) {
+			t.Fatalf("arrival %v past horizon", c.At)
+		}
+		if len(c.Reqs) == 0 {
+			t.Fatal("connection with no requests")
+		}
+		prev = c.At
+	}
+	if pl.OfferedRPS() <= 0 {
+		t.Fatalf("OfferedRPS = %v", pl.OfferedRPS())
+	}
+}
+
+// TestStormMultipliesArrivalRate checks the burst window: arrivals per
+// second inside the storm should be several times the base rate.
+func TestStormMultipliesArrivalRate(t *testing.T) {
+	cfg := Config{
+		Rate: 200, Horizon: 9 * sim.Second,
+		Storm: &Storm{At: 3 * sim.Second, Dur: 3 * sim.Second, X: 5},
+	}
+	pl := plan(3, cfg)
+	inStorm, outStorm := 0, 0
+	for _, c := range pl.Conns {
+		at := sim.Duration(c.At)
+		if at >= 3*sim.Second && at < 6*sim.Second {
+			inStorm++
+		} else {
+			outStorm++
+		}
+	}
+	// Storm window is 1/3 of the horizon at 5x rate: expect roughly
+	// 5x the per-second density; require at least 3x to stay robust.
+	if float64(inStorm) < 3*float64(outStorm)/2 {
+		t.Fatalf("storm density too low: %d in, %d out", inStorm, outStorm)
+	}
+}
+
+func TestRequestMixCoversCatalog(t *testing.T) {
+	pl := plan(5, Config{Rate: 400, Horizon: 10 * sim.Second, QueryFrac: 0.1})
+	seen := map[string]int{}
+	queries := 0
+	for _, c := range pl.Conns {
+		for _, r := range c.Reqs {
+			seen[r.Name]++
+			if r.Query {
+				queries++
+				if r.Name != "asdb.SumBig" {
+					t.Fatalf("query request named %q", r.Name)
+				}
+			}
+		}
+	}
+	for _, name := range []string{"asdb.PointRead", "asdb.RangeRead",
+		"asdb.JoinRead", "asdb.Update", "asdb.Insert", "asdb.Delete"} {
+		if seen[name] == 0 {
+			t.Fatalf("mix never produced %s: %v", name, seen)
+		}
+	}
+	if queries == 0 {
+		t.Fatal("QueryFrac produced no analytical requests")
+	}
+}

@@ -2,7 +2,6 @@ package tpce
 
 import (
 	"repro/internal/engine"
-	"repro/internal/metrics"
 	"repro/internal/sim"
 )
 
@@ -74,57 +73,28 @@ func RunUsers(srv *engine.Server, d *Dataset, users int, mix Mix, until sim.Time
 	for _, e := range entries {
 		totalW += e.w
 	}
-	pol := srv.Cfg.Retry
 	for i := 0; i < users; i++ {
 		srv.Sim.Spawn("tpce-user", func(p *sim.Proc) {
 			u := &user{
 				d:    d,
-				sess: srv.NewSession(p),
+				sess: srv.Open(p).BindCtx(),
 				g:    srv.Sim.RNG().Fork(),
 				zA:   sim.NewZipf(d.NAcct(), 0.55),
 			}
-			// run executes one transaction attempt with a fresh statement
-			// counter set attached, folding the attempt into the server's
-			// per-template query statistics ("tpce.<TxnName>").
-			run := func(e entry) bool {
-				t0 := p.Now()
-				stmt := &metrics.Counters{}
-				prev := p.Attr()
-				p.SetAttr(stmt)
-				ok := e.fn(u)
-				p.SetAttr(prev)
-				srv.QStats.Record("tpce."+e.name, metrics.Exec{
-					Elapsed: sim.Duration(p.Now() - t0),
-					Failed:  !ok,
-					Stmt:    stmt,
-				})
-				return ok
-			}
+			defer u.sess.Close()
 			for !srv.Stopped() && p.Now() < until {
 				pick := u.g.Float64() * totalW
 				for _, e := range entries {
 					pick -= e.w
 					if pick <= 0 {
-						ok := run(e)
-						if !ok && pol.Enabled() {
-							// Bounded retry with backoff for transient
-							// aborts (victim, IO); shutdown is terminal.
-							for attempt := 1; attempt < pol.MaxAttempts && !srv.Stopped(); attempt++ {
-								if qe := u.sess.TakeErr(); qe != nil && !qe.Retryable() {
-									break
-								}
-								srv.Ctr.TxnRetries++
-								srv.QStats.AddRetry("tpce." + e.name)
-								pol.Sleep(p, u.g, attempt)
-								if ok = run(e); ok {
-									break
-								}
-							}
-							u.sess.TakeErr()
-						}
+						// Exec attaches per-attempt statement counters,
+						// folds the attempt into the server's query stats
+						// ("tpce.<TxnName>"), and retries transient aborts
+						// under the session policy.
+						ok := u.sess.Exec("tpce."+e.name, u.g, func() bool { return e.fn(u) })
 						// Without a retry policy, count every attempt as
 						// the pre-retry driver did (aborts included).
-						if ok || !pol.Enabled() {
+						if ok || !u.sess.Retry.Enabled() {
 							st.ByType[e.name]++
 							st.Total++
 						}

@@ -108,7 +108,7 @@ func TestAnalyticalQueriesExecute(t *testing.T) {
 	for qn := 0; qn < NumAnalytical; qn++ {
 		got := 0
 		srv.Sim.Spawn("analyst", func(p *sim.Proc) {
-			res := srv.RunQuery(p, d.AnalyticalQuery(qn, g), 0, 0)
+			res := srv.Open(p).Query(d.AnalyticalQuery(qn, g), engine.QueryOptions{})
 			got = len(res.Rows)
 		})
 		srv.Sim.Run(srv.Sim.Now() + sim.Time(600*sim.Second))

@@ -24,28 +24,20 @@ func (s StreamStats) QPS() float64 {
 // simulation reaches `until`. Call after srv.Start; the caller advances
 // the simulation clock.
 func RunStreams(srv *engine.Server, d *Dataset, streams int, until sim.Time, done *StreamStats) {
-	pol := srv.Cfg.Retry
 	for i := 0; i < streams; i++ {
 		srv.Sim.Spawn("tpch-stream", func(p *sim.Proc) {
+			sess := srv.Open(p)
+			defer sess.Close()
 			g := srv.Sim.RNG().Fork()
 			for !srv.Stopped() {
 				for _, qi := range g.Perm(NumQueries) {
 					if srv.Stopped() || p.Now() >= until {
 						return
 					}
-					q := d.Query(qi+1, g)
-					res := srv.RunQuery(p, q, 0, 0)
-					if res.Err != nil && pol.Enabled() {
-						// Bounded retry with backoff for deadline/IO
-						// failures; shutdown cancellation is terminal.
-						for attempt := 1; attempt < pol.MaxAttempts &&
-							res.Err != nil && res.Err.Retryable() && !srv.Stopped(); attempt++ {
-							srv.Ctr.QueryRetries++
-							srv.QStats.AddRetry(q.Label)
-							pol.Sleep(p, g, attempt)
-							res = srv.RunQuery(p, q, 0, 0)
-						}
-					}
+					// Passing g arms the session's bounded retry with
+					// backoff for deadline/IO failures; shutdown
+					// cancellation is terminal.
+					res := sess.Query(d.Query(qi+1, g), engine.QueryOptions{G: g})
 					if res.Err == nil {
 						done.QueriesDone++
 					}
@@ -62,8 +54,9 @@ func QueryTiming(srv *engine.Server, d *Dataset, qn, maxdop int, grantPct float6
 	var elapsed sim.Duration
 	done := false
 	srv.Sim.Spawn("tpch-single", func(p *sim.Proc) {
-		q := d.Query(qn, g)
-		res := srv.RunQuery(p, q, maxdop, grantPct)
+		sess := srv.Open(p)
+		defer sess.Close()
+		res := sess.Query(d.Query(qn, g), engine.QueryOptions{MaxDOP: maxdop, GrantPct: grantPct})
 		elapsed = res.Elapsed
 		done = true
 	})

@@ -3,6 +3,7 @@ package tpch
 import (
 	"testing"
 
+	"repro/internal/engine"
 	"repro/internal/sim"
 )
 
@@ -13,7 +14,7 @@ func runQuery(t *testing.T, qn int, seed int64) ([][]int64, *Dataset) {
 	g := sim.NewRNG(seed)
 	var rows [][]int64
 	srv.Sim.Spawn("q", func(p *sim.Proc) {
-		res := srv.RunQuery(p, d.Query(qn, g), 0, 0)
+		res := srv.Open(p).Query(d.Query(qn, g), engine.QueryOptions{})
 		rows = res.Rows
 	})
 	srv.Sim.Run(srv.Sim.Now() + sim.Time(1200*sim.Second))

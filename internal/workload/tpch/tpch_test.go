@@ -75,7 +75,7 @@ func TestQueryResultsDeterministic(t *testing.T) {
 		g := sim.NewRNG(5)
 		var out []int64
 		srv.Sim.Spawn("q", func(p *sim.Proc) {
-			res := srv.RunQuery(p, d.Query(1, g), 0, 0)
+			res := srv.Open(p).Query(d.Query(1, g), engine.QueryOptions{})
 			for _, r := range res.Rows {
 				out = append(out, r...)
 			}

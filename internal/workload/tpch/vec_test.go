@@ -23,7 +23,7 @@ func TestVectorizedDoesNotPerturbResults(t *testing.T) {
 		q := d.Query(qn, g)
 		var rows [][]int64
 		srv.Sim.Spawn("q", func(p *sim.Proc) {
-			res := srv.RunQuery(p, q, 0, 0)
+			res := srv.Open(p).Query(q, engine.QueryOptions{})
 			rows = res.Rows
 		})
 		srv.Sim.Run(srv.Sim.Now() + sim.Time(600*sim.Second))
