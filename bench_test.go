@@ -295,6 +295,32 @@ func BenchmarkServing(b *testing.B) {
 	}
 }
 
+// BenchmarkChaos runs the marquee chaos cell — a serving-segment
+// partition plus replication-link stall during the storm window, a
+// mid-window primary crash, failover, and promotion — behind resilient
+// clients, and reports the acked-commit safety headline: survival must
+// stay exactly 1.0 (every client-acknowledged commit present after
+// failover), with time-to-goodput-recovery and client retry volume as
+// the sim-deterministic liveness trajectory.
+func BenchmarkChaos(b *testing.B) {
+	opt := benchOpts()
+	spec := []harness.ChaosSpec{{Name: "split-burst+crash", Schedule: "split-burst", Crash: true, Storm: true}}
+	for i := 0; i < b.N; i++ {
+		res := harness.Chaos(1, opt, spec, 16)
+		if err := res.Err(); err != nil {
+			b.Fatal(err)
+		}
+		p := res.Points[0]
+		if p.Acked == 0 {
+			b.Fatal("chaos cell acked nothing")
+		}
+		survival := float64(p.Acked-p.LostAcks) / float64(p.Acked)
+		b.ReportMetric(survival, "acked_commit_survival")
+		b.ReportMetric(p.RecoveryMs, "time_to_goodput_sim_ms")
+		b.ReportMetric(float64(p.Retries), "client_retries")
+	}
+}
+
 // BenchmarkSelfProfile runs a TPC-H point with simulator self-profiling
 // armed and reports each phase's host overhead as wall-ms per simulated
 // second. Every metric name carries "wall", so benchjson records the

@@ -14,15 +14,19 @@
 //
 // Experiments: table2, fig2cores, fig2llc, table3, table4, fig3, fig4,
 // fig5, fig5write, fig6, fig7, fig8, trace, qstats, serving,
-// replication, all.
+// replication, chaos, all.
 // With -faults, the resilience experiment sweeps a fault-intensity axis
 // and reports throughput retention, the recovery experiment crashes the
 // engine at seeded points, restarts it ARIES-style, and reports MTTR
 // versus checkpoint interval and storage bandwidth plus a verified crash
 // matrix, and the failover experiment crashes a replicated primary,
 // promotes the most caught-up standby, and verifies a point-in-time
-// restore from the WAL archive (see EXPERIMENTS.md, "Resilience
-// experiments", "Crash recovery", and "Replication & failover").
+// restore from the WAL archive, and the chaos experiment runs the
+// seeded matrix of net-fault schedules x primary crashes x arrival
+// storms against a quorum-replicated cluster behind resilient clients,
+// auditing that every acknowledged commit survives (see EXPERIMENTS.md,
+// "Resilience experiments", "Crash recovery", "Replication & failover",
+// and "Chaos & client resilience").
 //
 // Unknown experiment names and unknown -emit / -workload values are
 // usage errors, rejected before any side effect (no output file is
@@ -44,6 +48,7 @@ import (
 	"time"
 
 	"repro/internal/core"
+	"repro/internal/fault"
 	"repro/internal/harness"
 	"repro/internal/metrics"
 	"repro/internal/sim"
@@ -66,8 +71,10 @@ var (
 	traceQ   = flag.Int("trace", 14, "TPC-H query number for the trace experiment")
 	rowExec  = flag.Bool("rowexec", false, "force row-at-a-time execution (default: vectorized batches)")
 
-	servRate  = flag.Float64("rate", 16, "serve: mean connection arrivals per second")
+	servRate  = flag.Float64("rate", 16, "serve/chaos: mean connection arrivals per second")
 	servStorm = flag.Bool("storm", false, "serve: drive a 6x arrival burst through the middle of the window")
+
+	chaosSched = flag.String("schedule", "", "chaos: restrict the matrix to cells using one named fault schedule")
 
 	metricsOut = flag.String("metrics-out", "", "write end-of-run telemetry as Prometheus text exposition to this file")
 	profileDir = flag.String("profile", "", "write simulator self-profiles (pprof CPU/heap + per-subsystem overhead report) to this directory")
@@ -233,7 +240,7 @@ func sfsFor(w harness.Workload) []int {
 var experiments = []string{
 	"table2", "fig2cores", "fig2llc", "table3", "table4", "fig3", "fig4",
 	"fig5", "fig5write", "fig6", "fig7", "fig8", "trace", "qstats",
-	"serving", "replication", "resilience", "recovery", "failover", "all",
+	"serving", "replication", "resilience", "recovery", "failover", "chaos", "all",
 }
 
 // expDesc gives each experiment a one-liner for `dbsense list`.
@@ -257,6 +264,7 @@ var expDesc = map[string]string{
 	"resilience":  "throughput retention under fault injection (requires -faults)",
 	"recovery":    "ARIES restart MTTR and crash matrix (requires -faults)",
 	"failover":    "replica promotion RTO and PITR (requires -faults)",
+	"chaos":       "acked-commit safety under net faults, crashes, and failover (requires -faults)",
 	"all":         "every non-fault experiment in sequence",
 }
 
@@ -357,9 +365,22 @@ func main() {
 		fmt.Fprintf(os.Stderr, "unknown -workload %q (want tpch, tpce, asdb, or htap)\n", *workload)
 		os.Exit(2)
 	}
-	if (exp == "resilience" || exp == "recovery" || exp == "failover") && !*faults {
+	if (exp == "resilience" || exp == "recovery" || exp == "failover" || exp == "chaos") && !*faults {
 		fmt.Fprintf(os.Stderr, "the %s experiment requires -faults\n", exp)
 		os.Exit(2)
+	}
+	if *chaosSched != "" {
+		ok := false
+		for _, n := range fault.ScheduleNames() {
+			if n == *chaosSched {
+				ok = true
+				break
+			}
+		}
+		if !ok {
+			fmt.Fprintf(os.Stderr, "unknown -schedule %q (want one of %v)\n", *chaosSched, fault.ScheduleNames())
+			os.Exit(2)
+		}
 	}
 	if *emitFmt != "" {
 		path := *emitOut
@@ -758,6 +779,27 @@ func run(exp string) {
 				[2]string{"experiment", "qstats"},
 				[2]string{"workload", string(res.Workload)},
 				[2]string{"sf", fmt.Sprint(res.SF)})
+		}
+	case "chaos":
+		var specs []harness.ChaosSpec
+		if *chaosSched != "" {
+			for _, sp := range harness.ChaosSpecs() {
+				if sp.Schedule == *chaosSched {
+					specs = append(specs, sp)
+				}
+			}
+		}
+		res := harness.Chaos(servingSF(), o, specs, *servRate)
+		fmt.Print(res.String())
+		harness.EmitChaos(em, res)
+		for _, p := range res.Points {
+			recordProm(p.Telemetry,
+				[2]string{"experiment", "chaos"},
+				[2]string{"cell", p.Spec.Name})
+		}
+		if err := res.Err(); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
 		}
 	case "serving":
 		res := harness.Serving(servingSF(), o, harness.Knobs{}, nil)

@@ -69,12 +69,36 @@ func (cl *Conn) Query(p *sim.Proc, name string, arg uint64) (Reply, error) {
 }
 
 func (cl *Conn) call(p *sim.Proc, kind proto.Kind, name string, arg uint64) (Reply, error) {
+	id, err := cl.issue(p, kind, name, arg)
+	if err != nil {
+		return Reply{}, err
+	}
+	return cl.await(p, id, 0)
+}
+
+// issue sends one request frame and returns its id without waiting for
+// the reply — the resilient client's building block for timed waits and
+// hedged reads.
+func (cl *Conn) issue(p *sim.Proc, kind proto.Kind, name string, arg uint64) (uint64, error) {
 	id := cl.nextID
 	cl.nextID++
 	if err := cl.c.Send(p, proto.EncodeRequest(kind, id, proto.Request{Name: name, Arg: arg})); err != nil {
-		return Reply{}, err
+		return 0, err
 	}
-	buf, err := cl.c.Recv(p)
+	return id, nil
+}
+
+// await receives and decodes the reply for request id, waiting at most
+// timeout (0 = forever). A timed-out or mismatched connection must be
+// abandoned, not reused: the stale reply may still arrive.
+func (cl *Conn) await(p *sim.Proc, id uint64, timeout sim.Duration) (Reply, error) {
+	var buf []byte
+	var err error
+	if timeout > 0 {
+		buf, err = cl.c.RecvTimeout(p, timeout)
+	} else {
+		buf, err = cl.c.Recv(p)
+	}
 	if err != nil {
 		return Reply{}, err
 	}
@@ -99,8 +123,20 @@ func (cl *Conn) call(p *sim.Proc, kind proto.Kind, name string, arg uint64) (Rep
 	return Reply{}, ErrProtocol
 }
 
+// Pair returns the transport pair id shared with the server's endpoint,
+// so client-side acks can be joined with server-side commit records.
+func (cl *Conn) Pair() uint64 { return cl.c.Pair() }
+
+// Dead reports whether the underlying transport has closed.
+func (cl *Conn) Dead() bool { return cl.c.Closed() }
+
 // Close sends an orderly Goodbye and tears the connection down.
 func (cl *Conn) Close(p *sim.Proc) {
 	cl.c.Send(p, proto.EncodeGoodbye())
 	cl.c.Close()
 }
+
+// Abandon tears the connection down with no Goodbye (and no wire time) —
+// used after timeouts and hedge resolutions, where the connection may
+// still carry a stale in-flight reply and must not be reused.
+func (cl *Conn) Abandon() { cl.c.Close() }

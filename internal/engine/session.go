@@ -39,6 +39,13 @@ type Session struct {
 	// may tighten or loosen it without affecting other connections.
 	Timeout sim.Duration
 
+	// LastCommitLSN is the WAL end-byte LSN of the session's most recent
+	// durably acknowledged commit — 0 until one commits, and always 0
+	// when recovery recording is off (commit records then carry no LSN).
+	// The serving layer reads it to correlate a client-visible ack with
+	// the exact log position the acked-commit safety checker audits.
+	LastCommitLSN int64
+
 	err    *QueryError // first statement failure since the last TakeErr
 	closed bool
 }
@@ -196,6 +203,11 @@ func (sess *Session) Commit(tx *txn.Txn) bool {
 		// the transaction did not commit.
 		sess.setErr(ErrNotDurable, "commit")
 		return false
+	}
+	if committed {
+		if rec := tx.CommitRec(); rec != nil {
+			sess.LastCommitLSN = rec.LSN
+		}
 	}
 	return committed
 }

@@ -1,12 +1,19 @@
 // Package fault implements seeded, deterministic fault injection for the
 // simulated engine. An Injector schedules transient fault events off the
 // sim clock — IO stalls and errors, WAL-device slowdowns, buffer-pool
-// pressure spikes, workspace-grant starvation, and mid-run cpuset
-// shrinks — so resilience experiments reproduce bit-identically: the same
-// seed and config yield the same fault timeline, and a disabled config
-// injects nothing at all (no procs spawned, no RNG draws), leaving
-// fault-free runs byte-for-byte identical to a build without the
-// injector.
+// pressure spikes, workspace-grant starvation, mid-run cpuset shrinks,
+// and network misbehavior (partitions, frame loss, link degradation,
+// connection resets) — so resilience experiments reproduce
+// bit-identically: the same seed and config yield the same fault
+// timeline, and a disabled config injects nothing at all (no procs
+// spawned, no RNG draws), leaving fault-free runs byte-for-byte
+// identical to a build without the injector.
+//
+// Events arrive two ways: per-axis Poisson processes (the resilience
+// sweep's background noise) and a scripted Schedule — an ordered,
+// composable timeline of named-axis events that reproduces a specific
+// scenario ("partition the segment during a connection storm, then
+// reset every connection") from one config.
 //
 // The injector draws from its own RNG seeded independently of the
 // simulation's, so enabling faults never perturbs the workload's random
@@ -19,6 +26,7 @@ import (
 	"repro/internal/cgroup"
 	"repro/internal/iodev"
 	"repro/internal/metrics"
+	"repro/internal/net"
 	"repro/internal/sim"
 	"repro/internal/wal"
 )
@@ -41,7 +49,8 @@ type Config struct {
 	Seed int64
 
 	// Intensity is a master multiplier on every axis's Rate: the x-axis
-	// of a resilience sweep. Zero (or negative) disables all injection.
+	// of a resilience sweep. Zero (or negative) disables all Poisson
+	// injection (a non-empty Schedule still runs).
 	Intensity float64
 
 	IOStall      Axis // Magnitude: extra ns added to every device request
@@ -55,6 +64,18 @@ type Config struct {
 	ReplLinkStall Axis // link down while active (Magnitude unused)
 	ReplicaSlow   Axis // Magnitude: extra ns per replica WAL flush while active
 	ArchiveLoss   Axis // Magnitude: archive segments destroyed per event
+
+	// Network axes (need Targets.Net).
+	NetPartition Axis // Magnitude: partition mode (0/1 full, 2 to-server, 3 to-client)
+	NetLoss      Axis // Magnitude: per-frame loss probability (0..1)
+	NetDegrade   Axis // Magnitude: bandwidth/latency degradation factor (≥1)
+	ConnReset    Axis // Magnitude: fraction of live connections reset per event
+
+	// Schedule is a scripted fault timeline layered over (or instead of)
+	// the Poisson axes: ordered events on named axes, validated up front
+	// by Validate. Events on different axes may overlap; events on the
+	// same axis may not (each axis holds one exclusive state).
+	Schedule Schedule
 }
 
 // DefaultConfig returns the standard fault mix used by the resilience
@@ -74,14 +95,42 @@ func DefaultConfig(seed int64) Config {
 	}
 }
 
+// axes returns every Poisson axis with its canonical name, in the fixed
+// injector order.
+func (c *Config) axes() []struct {
+	name string
+	ax   Axis
+} {
+	return []struct {
+		name string
+		ax   Axis
+	}{
+		{"io-stall", c.IOStall},
+		{"io-error", c.IOError},
+		{"wal-slow", c.WALSlow},
+		{"buffer-spike", c.BufferSpike},
+		{"grant-starve", c.GrantStarve},
+		{"cpuset-shrink", c.CpusetShrink},
+		{"repl-link-stall", c.ReplLinkStall},
+		{"replica-slow", c.ReplicaSlow},
+		{"archive-loss", c.ArchiveLoss},
+		{"net-partition", c.NetPartition},
+		{"net-loss", c.NetLoss},
+		{"net-degrade", c.NetDegrade},
+		{"conn-reset", c.ConnReset},
+	}
+}
+
 // Enabled reports whether this config injects anything at all.
 func (c Config) Enabled() bool {
+	if len(c.Schedule) > 0 {
+		return true
+	}
 	if c.Intensity <= 0 {
 		return false
 	}
-	for _, ax := range []Axis{c.IOStall, c.IOError, c.WALSlow, c.BufferSpike, c.GrantStarve, c.CpusetShrink,
-		c.ReplLinkStall, c.ReplicaSlow, c.ArchiveLoss} {
-		if ax.Rate > 0 {
+	for _, a := range c.axes() {
+		if a.ax.Rate > 0 {
 			return true
 		}
 	}
@@ -124,7 +173,18 @@ type Targets struct {
 	CPUs   *cgroup.CPUSet
 	Grants GrantTarget
 	Repl   ReplTarget
+	Net    *net.Network
+	Crash  func() // scripted "crash" events (schedule only)
 	Ctr    *metrics.Counters
+}
+
+// axisAction is one axis's apply/clear pair, shared by the Poisson loop
+// and the scripted schedule so a scheduled event and a Poisson event on
+// the same axis behave identically (the scheduled one carries its own
+// magnitude).
+type axisAction struct {
+	apply func(mag float64)
+	clear func()
 }
 
 // Injector drives the fault timeline for one simulation run.
@@ -136,11 +196,13 @@ type Injector struct {
 	// One forked stream per axis, plus one for the device fault state's
 	// per-request draws. Forked unconditionally in a fixed order so that
 	// enabling or tuning one axis never shifts another's stream. The
-	// replication axes fork after devRNG (they arrived later; forking
-	// them earlier would shift every pre-existing stream).
+	// replication axes fork after devRNG, and the network axes after
+	// those (each family arrived later; forking it earlier would shift
+	// every pre-existing stream).
 	axisRNG [6]*sim.RNG
 	devRNG  *sim.RNG
 	replRNG [3]*sim.RNG
+	netRNG  [4]*sim.RNG
 
 	stopped bool
 }
@@ -156,6 +218,9 @@ func New(sm *sim.Sim, cfg Config, t Targets) *Injector {
 	for i := range in.replRNG {
 		in.replRNG[i] = root.Fork()
 	}
+	for i := range in.netRNG {
+		in.netRNG[i] = root.Fork()
+	}
 	return in
 }
 
@@ -163,67 +228,81 @@ func New(sm *sim.Sim, cfg Config, t Targets) *Injector {
 // their targets on the way out.
 func (in *Injector) Stop() { in.stopped = true }
 
-// Start spawns one proc per enabled axis. A disabled config spawns
-// nothing, preserving baseline determinism.
-func (in *Injector) Start() {
-	if !in.cfg.Enabled() {
-		return
-	}
-	var devFault *iodev.Fault
+// buildActions binds every axis whose target is present to its
+// apply/clear pair. Absent targets simply have no entry.
+func (in *Injector) buildActions() map[string]axisAction {
+	acts := make(map[string]axisAction)
 	if in.t.Dev != nil {
-		devFault = iodev.NewFault(in.devRNG)
+		devFault := iodev.NewFault(in.devRNG)
 		in.t.Dev.SetFault(devFault)
-	}
-	if devFault != nil {
-		stall := in.cfg.IOStall.Magnitude
-		in.axis("io-stall", in.cfg.IOStall, in.axisRNG[0],
-			func() { devFault.ReadStallNs, devFault.WriteStallNs = stall, stall },
-			func() { devFault.ReadStallNs, devFault.WriteStallNs = 0, 0 })
-		prob := in.cfg.IOError.Magnitude
-		in.axis("io-error", in.cfg.IOError, in.axisRNG[1],
-			func() {
-				devFault.ReadErrProb, devFault.WriteErrProb = prob, prob
+		acts["io-stall"] = axisAction{
+			apply: func(m float64) { devFault.ReadStallNs, devFault.WriteStallNs = m, m },
+			clear: func() { devFault.ReadStallNs, devFault.WriteStallNs = 0, 0 },
+		}
+		acts["io-error"] = axisAction{
+			apply: func(m float64) {
+				devFault.ReadErrProb, devFault.WriteErrProb = m, m
 				devFault.RetryNs = 1e6 // driver retry penalty per failed attempt
 			},
-			func() { devFault.ReadErrProb, devFault.WriteErrProb, devFault.RetryNs = 0, 0, 0 })
+			clear: func() { devFault.ReadErrProb, devFault.WriteErrProb, devFault.RetryNs = 0, 0, 0 },
+		}
 	}
 	if in.t.Log != nil {
-		penalty := in.cfg.WALSlow.Magnitude
-		in.axis("wal-slow", in.cfg.WALSlow, in.axisRNG[2],
-			func() { in.t.Log.SetFlushPenalty(penalty) },
-			func() { in.t.Log.SetFlushPenalty(0) })
+		acts["wal-slow"] = axisAction{
+			apply: func(m float64) { in.t.Log.SetFlushPenalty(m) },
+			clear: func() { in.t.Log.SetFlushPenalty(0) },
+		}
 	}
 	if in.t.BP != nil {
-		frac := 1 - clampFrac(in.cfg.BufferSpike.Magnitude)
-		in.axis("buffer-spike", in.cfg.BufferSpike, in.axisRNG[3],
-			func() { in.t.BP.SetCapacityFrac(frac) },
-			func() { in.t.BP.SetCapacityFrac(1) })
+		acts["buffer-spike"] = axisAction{
+			apply: func(m float64) { in.t.BP.SetCapacityFrac(1 - clampFrac(m)) },
+			clear: func() { in.t.BP.SetCapacityFrac(1) },
+		}
 	}
 	if in.t.Grants != nil {
-		frac := clampFrac(in.cfg.GrantStarve.Magnitude)
-		in.axis("grant-starve", in.cfg.GrantStarve, in.axisRNG[4],
-			func() {
-				in.t.Grants.SetFaultReserve(int64(frac * float64(in.t.Grants.WorkspaceBytes())))
+		acts["grant-starve"] = axisAction{
+			apply: func(m float64) {
+				in.t.Grants.SetFaultReserve(int64(clampFrac(m) * float64(in.t.Grants.WorkspaceBytes())))
 			},
-			func() { in.t.Grants.SetFaultReserve(0) })
+			clear: func() { in.t.Grants.SetFaultReserve(0) },
+		}
+	}
+	if in.t.CPUs != nil {
+		var saved []int
+		acts["cpuset-shrink"] = axisAction{
+			apply: func(m float64) {
+				saved = append(saved[:0], in.t.CPUs.Allowed()...)
+				n := int(float64(len(saved)) * (1 - clampFrac(m)))
+				if n < 1 {
+					n = 1
+				}
+				in.t.CPUs.AllowN(n)
+			},
+			clear: func() {
+				if len(saved) > 0 {
+					in.t.CPUs.Allow(saved)
+				}
+			},
+		}
 	}
 	if in.t.Repl != nil {
-		in.axis("repl-link-stall", in.cfg.ReplLinkStall, in.replRNG[0],
-			func() {
+		acts["repl-link-stall"] = axisAction{
+			apply: func(float64) {
 				in.t.Ctr.ReplLinkStalls++
 				in.t.Repl.SetLinkDown(true)
 			},
-			func() { in.t.Repl.SetLinkDown(false) })
-		penalty := in.cfg.ReplicaSlow.Magnitude
-		in.axis("replica-slow", in.cfg.ReplicaSlow, in.replRNG[1],
-			func() { in.t.Repl.SetReplicaFlushPenalty(penalty) },
-			func() { in.t.Repl.SetReplicaFlushPenalty(0) })
-		drop := int(in.cfg.ArchiveLoss.Magnitude)
-		if drop < 1 {
-			drop = 1
+			clear: func() { in.t.Repl.SetLinkDown(false) },
 		}
-		in.axis("archive-loss", in.cfg.ArchiveLoss, in.replRNG[2],
-			func() {
+		acts["replica-slow"] = axisAction{
+			apply: func(m float64) { in.t.Repl.SetReplicaFlushPenalty(m) },
+			clear: func() { in.t.Repl.SetReplicaFlushPenalty(0) },
+		}
+		acts["archive-loss"] = axisAction{
+			apply: func(m float64) {
+				drop := int(m)
+				if drop < 1 {
+					drop = 1
+				}
 				for i := 0; i < drop; i++ {
 					if !in.t.Repl.DropOldestArchiveSegment() {
 						break
@@ -231,26 +310,91 @@ func (in *Injector) Start() {
 					in.t.Ctr.ArchiveSegmentsLost++
 				}
 			},
-			func() {})
+			clear: func() {},
+		}
 	}
-	if in.t.CPUs != nil {
-		keep := 1 - clampFrac(in.cfg.CpusetShrink.Magnitude)
-		var saved []int
-		in.axis("cpuset-shrink", in.cfg.CpusetShrink, in.axisRNG[5],
-			func() {
-				saved = append(saved[:0], in.t.CPUs.Allowed()...)
-				n := int(float64(len(saved)) * keep)
-				if n < 1 {
-					n = 1
+	if in.t.Net != nil {
+		acts["net-partition"] = axisAction{
+			apply: func(m float64) { in.t.Net.SetPartition(partitionMode(m)) },
+			clear: func() { in.t.Net.SetPartition(net.PartitionNone) },
+		}
+		acts["net-loss"] = axisAction{
+			apply: func(m float64) { in.t.Net.SetLossProb(m) },
+			clear: func() { in.t.Net.SetLossProb(0) },
+		}
+		acts["net-degrade"] = axisAction{
+			apply: func(m float64) { in.t.Net.SetDegrade(m) },
+			clear: func() { in.t.Net.SetDegrade(1) },
+		}
+		acts["conn-reset"] = axisAction{
+			apply: func(m float64) {
+				if m <= 0 {
+					m = 1
 				}
-				in.t.CPUs.AllowN(n)
+				in.t.Net.ResetConns(m)
 			},
-			func() {
-				if len(saved) > 0 {
-					in.t.CPUs.Allow(saved)
-				}
-			})
+			clear: func() {},
+		}
 	}
+	if in.t.Crash != nil {
+		acts["crash"] = axisAction{apply: func(float64) { in.t.Crash() }, clear: func() {}}
+	}
+	return acts
+}
+
+// partitionMode maps an event magnitude to a partition direction.
+func partitionMode(m float64) net.PartitionMode {
+	switch int(m) {
+	case 2:
+		return net.PartitionToServer
+	case 3:
+		return net.PartitionToClient
+	default:
+		return net.PartitionBoth
+	}
+}
+
+// Start spawns one proc per enabled axis plus one per scheduled axis
+// timeline. A disabled config spawns nothing, preserving baseline
+// determinism.
+func (in *Injector) Start() {
+	if !in.cfg.Enabled() {
+		return
+	}
+	acts := in.buildActions()
+	// Spawn order reproduces the historical sequence exactly (proc spawn
+	// order is part of the sim's determinism): the five original axes,
+	// the replication family, cpuset-shrink (which always trailed repl),
+	// then the network family, then the schedule walkers. Each axis keeps
+	// its historical RNG stream.
+	spawn := []struct {
+		name string
+		ax   Axis
+		rng  *sim.RNG
+	}{
+		{"io-stall", in.cfg.IOStall, in.axisRNG[0]},
+		{"io-error", in.cfg.IOError, in.axisRNG[1]},
+		{"wal-slow", in.cfg.WALSlow, in.axisRNG[2]},
+		{"buffer-spike", in.cfg.BufferSpike, in.axisRNG[3]},
+		{"grant-starve", in.cfg.GrantStarve, in.axisRNG[4]},
+		{"repl-link-stall", in.cfg.ReplLinkStall, in.replRNG[0]},
+		{"replica-slow", in.cfg.ReplicaSlow, in.replRNG[1]},
+		{"archive-loss", in.cfg.ArchiveLoss, in.replRNG[2]},
+		{"cpuset-shrink", in.cfg.CpusetShrink, in.axisRNG[5]},
+		{"net-partition", in.cfg.NetPartition, in.netRNG[0]},
+		{"net-loss", in.cfg.NetLoss, in.netRNG[1]},
+		{"net-degrade", in.cfg.NetDegrade, in.netRNG[2]},
+		{"conn-reset", in.cfg.ConnReset, in.netRNG[3]},
+	}
+	for _, a := range spawn {
+		act, ok := acts[a.name]
+		if !ok {
+			continue
+		}
+		mag := a.ax.Magnitude
+		in.axis(a.name, a.ax, a.rng, func() { act.apply(mag) }, act.clear)
+	}
+	in.startSchedule(acts)
 }
 
 func clampFrac(f float64) float64 {

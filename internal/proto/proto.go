@@ -86,6 +86,7 @@ const (
 	CodeOverloaded                 // admission control shed the request
 	CodeShutdown                   // server stopping; request not executed
 	CodeExecFailed                 // statement ran and failed (aborted / killed)
+	CodeFailover                   // primary crashed mid-session; request not committed
 )
 
 // String names the code.
@@ -101,6 +102,8 @@ func (c Code) String() string {
 		return "shutdown"
 	case CodeExecFailed:
 		return "exec-failed"
+	case CodeFailover:
+		return "failover"
 	default:
 		return fmt.Sprintf("code(%d)", uint16(c))
 	}

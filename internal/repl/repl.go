@@ -654,6 +654,34 @@ func (c *Cluster) MaxLagBytes() int64 {
 	return max
 }
 
+// AckedLSNs returns the commit LSNs acknowledged to clients under
+// sync/quorum mode, in ack order — the cluster-side ground truth the
+// chaos harness audits client-observed acks against.
+func (c *Cluster) AckedLSNs() []int64 { return c.ackedLSNs }
+
+// LinkDown reports whether the replication links are currently
+// partitioned — the serving layer's replication-health posture input.
+func (c *Cluster) LinkDown() bool { return c.linkDown }
+
+// BestLagBytes returns the most-caught-up standby's current apply lag
+// in WAL bytes (0 with no standbys).
+func (c *Cluster) BestLagBytes() int64 {
+	var bestApplied int64 = -1
+	for _, s := range c.Standbys {
+		if s.appliedLSN > bestApplied {
+			bestApplied = s.appliedLSN
+		}
+	}
+	if bestApplied < 0 {
+		return 0
+	}
+	lag := c.Primary.Log.FlushedLSN() - bestApplied
+	if lag < 0 {
+		return 0
+	}
+	return lag
+}
+
 // SetLinkDown implements fault.ReplTarget: partition (true) or heal
 // (false) every replication link. While down, shippers park, no batches
 // arrive, and sync/quorum acks stop.

@@ -1,0 +1,143 @@
+package serve
+
+import (
+	"errors"
+
+	"repro/internal/engine"
+	"repro/internal/net"
+	"repro/internal/repl"
+	"repro/internal/workload/asdb"
+)
+
+// ClusterConfig sizes a cluster front end.
+type ClusterConfig struct {
+	Config
+
+	// PromotedAddr is the listen address the promoted standby's front end
+	// binds after failover (default Addr+"1"); resilient clients carry it
+	// in their endpoint list and re-dial it when the primary dies.
+	PromotedAddr string
+
+	// StalenessBytes bounds replica-read staleness for routed analytical
+	// reads (<= 0 uses the replication config's bound).
+	StalenessBytes int64
+}
+
+// Ack is one client-acknowledged exec recorded at the serving boundary:
+// which front end acked it (epoch 0 = original primary, 1 = promoted
+// standby), on which transport pair, for which request id, at which
+// commit LSN. The chaos harness joins these against the client's own
+// ack log and the surviving WAL.
+type Ack struct {
+	Epoch int
+	Pair  uint64
+	Req   uint64
+	LSN   int64
+}
+
+// ClusterFrontend fronts a repl.Cluster instead of a single server: it
+// serves the primary, sheds degraded analytical reads to caught-up
+// replicas, folds replication health into admission posture, and — after
+// repl.Failover promotes a standby — brings up a second front end on the
+// promoted node so clients can re-dial and resume.
+type ClusterFrontend struct {
+	Cl   *repl.Cluster
+	Cfg  ClusterConfig
+	Net  *net.Network
+	FE   *Frontend // epoch-0 front end on the original primary
+	PFE  *Frontend // epoch-1 front end on the promoted standby (after Promote)
+	DSOf func(*engine.Database) *asdb.Dataset
+
+	// Acks is the append-only server-side ack log across both epochs.
+	Acks  []Ack
+	Epoch int
+}
+
+// NewCluster builds the cluster front end. primaryDS is the primary's
+// bound dataset; dsOf maps a standby's database image to its dataset
+// view (the same schema bound to a different image).
+func NewCluster(cl *repl.Cluster, primaryDS *asdb.Dataset, dsOf func(*engine.Database) *asdb.Dataset, cfg ClusterConfig) *ClusterFrontend {
+	cfg.Config = cfg.Config.withDefaults()
+	if cfg.PromotedAddr == "" {
+		cfg.PromotedAddr = cfg.Addr + "1"
+	}
+	nw := net.New(cl.Primary.Sim, cfg.Net)
+	cf := &ClusterFrontend{Cl: cl, Cfg: cfg, Net: nw, DSOf: dsOf}
+	fe := NewOn(nw, cl.Primary, primaryDS, cfg.Config)
+	fe.OnExecOK = cf.recordAck(0)
+	fe.Router = cf
+	fe.ReplUnhealthy = cf.unhealthy
+	cf.FE = fe
+	return cf
+}
+
+// Start binds the primary's front end.
+func (cf *ClusterFrontend) Start() error { return cf.FE.Start() }
+
+// Frontend returns the currently-serving front end.
+func (cf *ClusterFrontend) Frontend() *Frontend {
+	if cf.Epoch > 0 {
+		return cf.PFE
+	}
+	return cf.FE
+}
+
+func (cf *ClusterFrontend) recordAck(epoch int) func(pair, req uint64, lsn int64) {
+	return func(pair, req uint64, lsn int64) {
+		cf.Acks = append(cf.Acks, Ack{Epoch: epoch, Pair: pair, Req: req, LSN: lsn})
+	}
+}
+
+// unhealthy reports a degraded replication plane: a partitioned link,
+// or every standby lagging past the staleness bound. The front end
+// halves its degrade threshold while true.
+func (cf *ClusterFrontend) unhealthy() bool {
+	if cf.Cl.LinkDown() {
+		return true
+	}
+	bound := cf.Cfg.StalenessBytes
+	if bound <= 0 {
+		bound = cf.Cl.Cfg.StalenessBytes
+	}
+	return cf.Cl.BestLagBytes() > bound
+}
+
+// RouteQuery implements QueryRouter: degraded analytical reads go to
+// the most caught-up standby when it is inside the staleness bound.
+// After promotion the cluster is a single node again — no routing.
+func (cf *ClusterFrontend) RouteQuery() (*engine.Server, *asdb.Dataset) {
+	if cf.Epoch > 0 {
+		return nil, nil
+	}
+	i := cf.Cl.RouteRead(cf.Cfg.StalenessBytes)
+	if i < 0 {
+		return nil, nil
+	}
+	s := cf.Cl.Standbys[i]
+	return s.Srv, cf.DSOf(s.DB)
+}
+
+// Promote brings up a front end on the standby repl.Failover promoted,
+// listening at PromotedAddr on the same network segment, and advances
+// the ack epoch. Call after Cluster.Failover succeeds.
+func (cf *ClusterFrontend) Promote() error {
+	s := cf.Cl.PromotedStandby()
+	if s == nil {
+		return errors.New("serve: no promoted standby (run repl.Failover first)")
+	}
+	cfg := cf.Cfg.Config
+	cfg.Addr = cf.Cfg.PromotedAddr
+	fe := NewOn(cf.Net, s.Srv, cf.DSOf(s.DB), cfg)
+	fe.OnExecOK = cf.recordAck(1)
+	cf.PFE = fe
+	cf.Epoch = 1
+	return fe.Start()
+}
+
+// Stop stops whichever front ends were started.
+func (cf *ClusterFrontend) Stop() {
+	cf.FE.Stop()
+	if cf.PFE != nil {
+		cf.PFE.Stop()
+	}
+}

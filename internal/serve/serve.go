@@ -74,6 +74,16 @@ type Counters struct {
 	Failed     int64 // requests answered with CodeExecFailed
 	BadRequest int64 // malformed frames / unknown statement names
 	Shutdown   int64 // requests answered with CodeShutdown
+	Failover   int64 // requests answered with CodeFailover (primary crashed)
+	Routed     int64 // degraded queries shed to a read replica
+}
+
+// QueryRouter offers an alternate node for analytical reads under
+// degraded posture — the cluster front end routes to the most
+// caught-up read replica within a staleness bound. Returning nil runs
+// the query locally.
+type QueryRouter interface {
+	RouteQuery() (*engine.Server, *asdb.Dataset)
 }
 
 // Frontend serves the ASDB statement catalog over the simulated network.
@@ -84,6 +94,21 @@ type Frontend struct {
 	Net *net.Network
 	Ctr Counters
 
+	// OnExecOK, when set, observes every acknowledged exec before its
+	// reply is sent: the transport pair id, the request id, and the
+	// commit's WAL LSN — the server-side half of the acked-commit
+	// safety checker's join.
+	OnExecOK func(pair, req uint64, lsn int64)
+
+	// Router, when set, may shed degraded-posture analytical reads to a
+	// read replica (cluster front end).
+	Router QueryRouter
+
+	// ReplUnhealthy, when set and returning true, halves the degrade
+	// threshold: a cluster whose replication plane is partitioned or
+	// lagging degrades earlier, preserving headroom for the commit path.
+	ReplUnhealthy func() bool
+
 	ln      *net.Listener
 	runq    []*request
 	workq   sim.WaitQueue
@@ -91,14 +116,21 @@ type Frontend struct {
 	stopped bool
 }
 
-// New builds a front end for srv serving d's catalog. Call Start before
-// running the simulation.
+// New builds a front end for srv serving d's catalog on its own private
+// network segment. Call Start before running the simulation.
 func New(srv *engine.Server, d *asdb.Dataset, cfg Config) *Frontend {
+	return NewOn(net.New(srv.Sim, cfg.withDefaults().Net), srv, d, cfg)
+}
+
+// NewOn builds a front end on an existing network segment, so several
+// front ends (a primary and a promoted standby) can share one segment
+// and one client population.
+func NewOn(nw *net.Network, srv *engine.Server, d *asdb.Dataset, cfg Config) *Frontend {
 	return &Frontend{
 		Srv:   srv,
 		D:     d,
 		Cfg:   cfg.withDefaults(),
-		Net:   net.New(srv.Sim, cfg.withDefaults().Net),
+		Net:   nw,
 		conns: make(map[*net.Conn]struct{}),
 	}
 }
@@ -132,6 +164,19 @@ func (f *Frontend) registerTelemetry() {
 	r.CounterFunc("serve", "shed", "requests", func() float64 { return float64(f.Ctr.Shed) })
 	r.CounterFunc("serve", "degraded", "requests", func() float64 { return float64(f.Ctr.Degraded) })
 	r.CounterFunc("serve", "served", "requests", func() float64 { return float64(f.Ctr.Served) })
+	r.CounterFunc("serve", "routed_reads", "requests", func() float64 { return float64(f.Ctr.Routed) })
+	f.Net.RegisterTelemetry(r)
+}
+
+// stopCode is the typed code for requests cut off by this front end
+// going away: a crashed primary interrupts sessions with CodeFailover
+// (the client may safely retry — nothing uncommitted survives), a
+// planned stop with CodeShutdown.
+func (f *Frontend) stopCode() (proto.Code, string) {
+	if f.Srv.Crashed() {
+		return proto.CodeFailover, "primary crashed"
+	}
+	return proto.CodeShutdown, "server stopping"
 }
 
 // Stop is idempotent and runs from the engine's stop hooks — outside any
@@ -143,9 +188,14 @@ func (f *Frontend) Stop() {
 		return
 	}
 	f.stopped = true
+	code, msg := f.stopCode()
 	for _, r := range f.runq {
-		r.conn.Deliver(proto.EncodeError(r.id, proto.CodeShutdown, "server stopping"))
-		f.Ctr.Shutdown++
+		r.conn.Deliver(proto.EncodeError(r.id, code, msg))
+		if code == proto.CodeFailover {
+			f.Ctr.Failover++
+		} else {
+			f.Ctr.Shutdown++
+		}
 	}
 	f.runq = nil
 	f.workq.WakeAll(f.Srv.Sim)
@@ -227,8 +277,13 @@ func (f *Frontend) handle(p *sim.Proc, c *net.Conn) {
 // overload beats degrade beats normal admission.
 func (f *Frontend) admit(p *sim.Proc, c *net.Conn, fr proto.Frame, req proto.Request) {
 	if f.stopped || f.Srv.Stopped() {
-		f.Ctr.Shutdown++
-		c.Send(p, proto.EncodeError(fr.ID, proto.CodeShutdown, "server stopping"))
+		code, msg := f.stopCode()
+		if code == proto.CodeFailover {
+			f.Ctr.Failover++
+		} else {
+			f.Ctr.Shutdown++
+		}
+		c.Send(p, proto.EncodeError(fr.ID, code, msg))
 		return
 	}
 	if len(f.runq) >= f.Cfg.RunQueue {
@@ -236,16 +291,46 @@ func (f *Frontend) admit(p *sim.Proc, c *net.Conn, fr proto.Frame, req proto.Req
 		c.Send(p, proto.EncodeError(fr.ID, proto.CodeOverloaded, "run queue full"))
 		return
 	}
+	degradeAt := f.Cfg.DegradeDepth
+	if f.ReplUnhealthy != nil && f.ReplUnhealthy() {
+		// Unhealthy replication: degrade earlier to preserve headroom.
+		degradeAt /= 2
+	}
 	f.runq = append(f.runq, &request{
 		conn: c, kind: fr.Kind, id: fr.ID, req: req,
-		degraded: len(f.runq) >= f.Cfg.DegradeDepth,
+		degraded: len(f.runq) >= degradeAt,
 	})
 	f.workq.WakeOne(f.Srv.Sim)
 }
 
+// workerState is one worker's session set: its primary session plus
+// lazily-opened query-only sessions on any replica the Router sends
+// reads to (opened without BindCtx — queries draw no session RNG).
+type workerState struct {
+	sess   *engine.Session
+	routed map[*engine.Server]*engine.Session
+}
+
+func (ws *workerState) on(p *sim.Proc, tsrv *engine.Server) *engine.Session {
+	if s, ok := ws.routed[tsrv]; ok {
+		return s
+	}
+	s := tsrv.Open(p)
+	ws.routed[tsrv] = s
+	return s
+}
+
 func (f *Frontend) worker(p *sim.Proc) {
-	sess := f.Srv.Open(p).BindCtx()
-	defer sess.Close()
+	ws := &workerState{
+		sess:   f.Srv.Open(p).BindCtx(),
+		routed: make(map[*engine.Server]*engine.Session),
+	}
+	defer func() {
+		for _, s := range ws.routed {
+			s.Close()
+		}
+		ws.sess.Close()
+	}()
 	for {
 		for len(f.runq) == 0 && !f.stopped && !f.Srv.Stopped() {
 			f.workq.Wait(p)
@@ -255,11 +340,24 @@ func (f *Frontend) worker(p *sim.Proc) {
 		}
 		r := f.runq[0]
 		f.runq = f.runq[1:]
-		f.execute(p, sess, r)
+		f.execute(p, ws, r)
 	}
 }
 
-func (f *Frontend) execute(p *sim.Proc, sess *engine.Session, r *request) {
+// failCode types an execution failure: a crash mid-statement is a
+// failover (retryable — the txn did not commit), anything else an
+// exec failure.
+func (f *Frontend) failCode(id uint64, msg string) []byte {
+	if f.Srv.Crashed() {
+		f.Ctr.Failover++
+		return proto.EncodeError(id, proto.CodeFailover, "primary crashed")
+	}
+	f.Ctr.Failed++
+	return proto.EncodeError(id, proto.CodeExecFailed, msg)
+}
+
+func (f *Frontend) execute(p *sim.Proc, ws *workerState, r *request) {
+	sess := ws.sess
 	var reply []byte
 	switch r.kind {
 	case proto.KExec:
@@ -270,20 +368,31 @@ func (f *Frontend) execute(p *sim.Proc, sess *engine.Session, r *request) {
 			reply = proto.EncodeError(r.id, proto.CodeBadRequest, "unknown statement "+r.req.Name)
 		case ok:
 			f.Ctr.Served++
+			if f.OnExecOK != nil {
+				f.OnExecOK(r.conn.Pair(), r.id, sess.LastCommitLSN)
+			}
 			reply = proto.EncodeResult(r.id, proto.Result{Rows: 1})
 		default:
-			f.Ctr.Failed++
-			reply = proto.EncodeError(r.id, proto.CodeExecFailed, "aborted")
+			reply = f.failCode(r.id, "aborted")
 		}
 	case proto.KQuery:
-		q, known := f.D.QueryOp(r.req.Name, r.req.Arg)
+		qsrv, qd, qsess := f.Srv, f.D, sess
+		if r.degraded && f.Router != nil {
+			if tsrv, td := f.Router.RouteQuery(); tsrv != nil {
+				// Shed the analytical read to a caught-up replica at
+				// full resources rather than running degraded locally.
+				f.Ctr.Routed++
+				qsrv, qd, qsess = tsrv, td, ws.on(p, tsrv)
+			}
+		}
+		q, known := qd.QueryOp(r.req.Name, r.req.Arg)
 		if !known {
 			f.Ctr.BadRequest++
 			reply = proto.EncodeError(r.id, proto.CodeBadRequest, "unknown statement "+r.req.Name)
 			break
 		}
 		var o engine.QueryOptions
-		if r.degraded {
+		if r.degraded && qsrv == f.Srv {
 			// The deadline governor's degraded posture, applied at
 			// admission instead of mid-query: half DOP, quarter grant.
 			f.Ctr.Degraded++
@@ -292,10 +401,9 @@ func (f *Frontend) execute(p *sim.Proc, sess *engine.Session, r *request) {
 			}
 			o.GrantPct = f.Srv.Cfg.GrantFrac / 4
 		}
-		res := sess.Query(q, o)
+		res := qsess.Query(q, o)
 		if res.Err != nil {
-			f.Ctr.Failed++
-			reply = proto.EncodeError(r.id, proto.CodeExecFailed, res.Err.Error())
+			reply = f.failCode(r.id, res.Err.Error())
 		} else {
 			f.Ctr.Served++
 			reply = proto.EncodeResult(r.id, proto.Result{Rows: uint64(len(res.Rows))})

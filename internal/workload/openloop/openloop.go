@@ -163,6 +163,76 @@ type Stats struct {
 	Samples []Sample
 }
 
+// RStats accumulates a resilient-client run's observations: per-request
+// outcomes at the client boundary, the client-side ack log, and the
+// shared resilience metrics.
+type RStats struct {
+	Sent        int64
+	Acked       int64 // execs acknowledged OK
+	Failed      int64 // execs the server ran and failed
+	NotExecuted int64 // execs that exhausted retries without executing
+	Unknown     int64 // execs whose outcome is ambiguous (never retried)
+	QueryOK     int64
+	QueryFailed int64
+	Samples     []Sample
+	Acks        []client.AckKey // client-observed acks, in ack order
+	M           client.Metrics
+}
+
+// RunResilient replays the plan through resilient clients: unlike Run,
+// a connection survives resets, partitions, and failover — the client
+// reconnects, rotates endpoints, and keeps issuing its script. Each
+// connection's backoff-jitter stream forks from g in plan order.
+func RunResilient(sm *sim.Sim, nw *net.Network, rcfg client.RConfig, pl *Plan, st *RStats, g *sim.RNG) {
+	for i := range pl.Conns {
+		cp := &pl.Conns[i]
+		jg := g.Fork()
+		sm.Spawn("resilient-conn", func(p *sim.Proc) {
+			r := client.NewResilient(nw, rcfg, &st.M, jg, "chaos")
+			r.OnAck = func(k client.AckKey) { st.Acks = append(st.Acks, k) }
+			defer r.Close()
+			if wait := cp.At - p.Now(); wait > 0 {
+				p.Sleep(sim.Duration(wait))
+			}
+			for _, rq := range cp.Reqs {
+				if rq.Think > 0 {
+					p.Sleep(rq.Think)
+				}
+				t0 := p.Now()
+				st.Sent++
+				if rq.Query {
+					rep, err := r.Query(p, rq.Name, rq.Arg)
+					ok := err == nil && rep.OK
+					st.Samples = append(st.Samples, Sample{
+						At: p.Now(), Lat: sim.Duration(p.Now() - t0), OK: ok, Code: rep.Code,
+					})
+					if ok {
+						st.QueryOK++
+					} else {
+						st.QueryFailed++
+					}
+					continue
+				}
+				rep, out := r.Exec(p, rq.Name, rq.Arg)
+				st.Samples = append(st.Samples, Sample{
+					At: p.Now(), Lat: sim.Duration(p.Now() - t0),
+					OK: out == client.OutcomeAcked, Code: rep.Code,
+				})
+				switch out {
+				case client.OutcomeAcked:
+					st.Acked++
+				case client.OutcomeFailed:
+					st.Failed++
+				case client.OutcomeNotExecuted:
+					st.NotExecuted++
+				case client.OutcomeUnknown:
+					st.Unknown++
+				}
+			}
+		})
+	}
+}
+
 // Run spawns one proc per planned connection against addr on nw. The
 // procs sleep to their arrival times, replay their request scripts, and
 // record latency samples. Run returns immediately; the caller advances
